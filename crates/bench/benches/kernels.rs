@@ -1,0 +1,225 @@
+//! Criterion wall-clock benches of the native kernel variants — the
+//! host-machine counterpart of the simulated figures. One group per
+//! paper figure; within each group the variants are the figure's curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shackle_kernels::adi::{adi_input, adi_transformed};
+use shackle_kernels::banded::{pbtrf_lapack, pbtrf_pointwise, pbtrf_shackled, BandMat};
+use shackle_kernels::cholesky::{
+    cholesky_lapack, cholesky_pointwise, cholesky_shackled, cholesky_shackled_dgemm,
+};
+use shackle_kernels::gauss::{gauss_blocked_dgemm, gauss_pointwise, gauss_shackled};
+use shackle_kernels::gen::{random_banded_spd, random_mat, random_spd};
+use shackle_kernels::matmul::{matmul_blocked, matmul_dgemm, matmul_ijk, matmul_two_level};
+use shackle_kernels::qr::{qr_col_blocked, qr_col_blocked_dgemm, qr_pointwise, qr_wy};
+use shackle_kernels::Mat;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_fig10_matmul");
+    g.sample_size(10);
+    let n = 256;
+    let a = random_mat(n, n, 1);
+    let b = random_mat(n, n, 2);
+    g.bench_function(BenchmarkId::new("input_ijk", n), |bch| {
+        bch.iter(|| {
+            let mut out = Mat::zeros(n, n);
+            matmul_ijk(&mut out, &a, &b);
+            out
+        })
+    });
+    g.bench_function(BenchmarkId::new("blocked_64", n), |bch| {
+        bch.iter(|| {
+            let mut out = Mat::zeros(n, n);
+            matmul_blocked(&mut out, &a, &b, 64);
+            out
+        })
+    });
+    g.bench_function(BenchmarkId::new("two_level_64_8", n), |bch| {
+        bch.iter(|| {
+            let mut out = Mat::zeros(n, n);
+            matmul_two_level(&mut out, &a, &b, 64, 8);
+            out
+        })
+    });
+    g.bench_function(BenchmarkId::new("dgemm", n), |bch| {
+        bch.iter(|| {
+            let mut out = Mat::zeros(n, n);
+            matmul_dgemm(&mut out, &a, &b);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_cholesky");
+    g.sample_size(10);
+    let n = 384;
+    let a0 = random_spd(n, 3);
+    g.bench_function(BenchmarkId::new("input_right_looking", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            cholesky_pointwise(&mut a);
+            a
+        })
+    });
+    g.bench_function(BenchmarkId::new("compiler_shackled_64", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            cholesky_shackled(&mut a, 64);
+            a
+        })
+    });
+    g.bench_function(BenchmarkId::new("shackled_dgemm_64", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            cholesky_shackled_dgemm(&mut a, 64);
+            a
+        })
+    });
+    g.bench_function(BenchmarkId::new("lapack_blas3_64", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            cholesky_lapack(&mut a, 64);
+            a
+        })
+    });
+    g.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_qr");
+    g.sample_size(10);
+    let n = 256;
+    let a0 = random_mat(n, n, 4);
+    g.bench_function(BenchmarkId::new("input_pointwise", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            qr_pointwise(&mut a)
+        })
+    });
+    g.bench_function(BenchmarkId::new("compiler_col_blocked_32", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            qr_col_blocked(&mut a, 32)
+        })
+    });
+    g.bench_function(BenchmarkId::new("col_blocked_dgemm_32", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            qr_col_blocked_dgemm(&mut a, 32)
+        })
+    });
+    g.bench_function(BenchmarkId::new("lapack_wy_32", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            qr_wy(&mut a, 32)
+        })
+    });
+    g.finish();
+}
+
+fn bench_gauss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13i_gmtry_gauss");
+    g.sample_size(10);
+    let n = 320;
+    let a0 = random_spd(n, 5);
+    g.bench_function(BenchmarkId::new("input_pointwise", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            gauss_pointwise(&mut a);
+            a
+        })
+    });
+    g.bench_function(BenchmarkId::new("compiler_shackled_32", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            gauss_shackled(&mut a, 32);
+            a
+        })
+    });
+    g.bench_function(BenchmarkId::new("blocked_dgemm_32", n), |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            gauss_blocked_dgemm(&mut a, 32);
+            a
+        })
+    });
+    g.finish();
+}
+
+fn bench_adi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13ii_adi");
+    g.sample_size(10);
+    let n = 1000;
+    let a = random_mat(n, n, 6);
+    let b0 = {
+        let mut b = random_mat(n, n, 7);
+        for v in b.data_mut() {
+            *v += 2.0;
+        }
+        b
+    };
+    let x0 = random_mat(n, n, 8);
+    g.bench_function(BenchmarkId::new("input", n), |bch| {
+        bch.iter(|| {
+            let (mut x, mut b) = (x0.clone(), b0.clone());
+            adi_input(&mut x, &a, &mut b);
+            (x, b)
+        })
+    });
+    g.bench_function(
+        BenchmarkId::new("transformed_fused_interchanged", n),
+        |bch| {
+            bch.iter(|| {
+                let (mut x, mut b) = (x0.clone(), b0.clone());
+                adi_transformed(&mut x, &a, &mut b);
+                (x, b)
+            })
+        },
+    );
+    g.finish();
+}
+
+fn bench_banded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_banded_cholesky");
+    g.sample_size(10);
+    let n = 1200;
+    for p in [16usize, 64, 128] {
+        let a0 = random_banded_spd(n, p, 9);
+        let band0 = BandMat::from_dense(&a0, p);
+        g.bench_function(BenchmarkId::new("input_pointwise", p), |b| {
+            b.iter(|| {
+                let mut band = band0.clone();
+                pbtrf_pointwise(&mut band);
+                band
+            })
+        });
+        g.bench_function(BenchmarkId::new("compiler_shackled_32", p), |b| {
+            b.iter(|| {
+                let mut band = band0.clone();
+                pbtrf_shackled(&mut band, 32);
+                band
+            })
+        });
+        g.bench_function(BenchmarkId::new("lapack_pbtrf_32", p), |b| {
+            b.iter(|| {
+                let mut band = band0.clone();
+                pbtrf_lapack(&mut band, 32.min(p + 1));
+                band
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_cholesky,
+    bench_qr,
+    bench_gauss,
+    bench_adi,
+    bench_banded
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches of the transformation toolchain itself: dependence
+//! analysis, the Omega-test legality check, and the polyhedra scanner —
+//! the compile-time costs a user of the framework pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shackle_core::{check_legality, scan::generate_scanned};
+use shackle_ir::deps::dependences;
+use shackle_ir::kernels;
+use shackle_kernels::shackles;
+
+fn bench_dependence_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("toolchain_dependences");
+    g.sample_size(10);
+    let chol = kernels::cholesky_right();
+    g.bench_function("cholesky_right", |b| b.iter(|| dependences(&chol)));
+    let qr = kernels::qr_householder();
+    g.bench_function("qr_householder", |b| b.iter(|| dependences(&qr)));
+    g.finish();
+}
+
+fn bench_legality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("toolchain_legality");
+    g.sample_size(10);
+    let chol = kernels::cholesky_right();
+    let product = shackles::cholesky_product(&chol, 64);
+    g.bench_function("cholesky_product", |b| {
+        b.iter(|| check_legality(&chol, &product))
+    });
+    g.finish();
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("toolchain_scanner");
+    g.sample_size(10);
+    let chol = kernels::cholesky_right();
+    let writes = shackles::cholesky_writes(&chol, 64);
+    g.bench_function("cholesky_writes", |b| {
+        b.iter(|| generate_scanned(&chol, &writes))
+    });
+    let mm = kernels::matmul_ijk();
+    let two = shackles::matmul_two_level(&mm, 64, 8);
+    g.bench_function("matmul_two_level", |b| {
+        b.iter(|| generate_scanned(&mm, &two))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dependence_analysis,
+    bench_legality,
+    bench_scanner
+);
+criterion_main!(benches);

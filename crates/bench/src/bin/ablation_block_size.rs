@@ -1,0 +1,37 @@
+//! Ablation: block-size selection (the §8 open problem — "determination
+//! of good block sizes can also be tricky").
+//!
+//! Sweeps the block width of the fully-blocked Cholesky product on the
+//! simulated SP-2 at a fixed problem size and prints simulated MFLOPS
+//! and misses per width, exposing the classic U-shape: tiny blocks
+//! cannot amortize reuse, oversized blocks stop fitting in the cache.
+
+use shackle_bench::model;
+use shackle_kernels::shackles;
+use shackle_kernels::trace::trace_execution;
+use shackle_memsim::Hierarchy;
+use std::collections::BTreeMap;
+
+fn main() {
+    let n = 300_i64;
+    let p = shackle_ir::kernels::cholesky_right();
+    println!("Block-size ablation: fully-blocked Cholesky, n = {n}, simulated SP-2");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "width", "misses", "mem cycles", "MFLOPS"
+    );
+    for width in [2i64, 4, 8, 16, 32, 64, 128] {
+        let factors = shackles::cholesky_product(&p, width);
+        let blocked = shackle_core::scan::generate_scanned(&p, &factors);
+        let params = BTreeMap::from([("N".to_string(), n)]);
+        let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 5);
+        let mut h = Hierarchy::sp2_thin_node();
+        let stats = trace_execution(&blocked, &params, &init, &mut h);
+        let mflops = model::perf(model::SCALAR_CYCLES_PER_FLOP).mflops(stats.flops, h.cycles());
+        println!(
+            "{width:>8} {:>12} {:>14} {mflops:>10.2}",
+            h.level_stats()[0].misses,
+            h.cycles()
+        );
+    }
+}

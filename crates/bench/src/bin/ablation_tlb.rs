@@ -1,0 +1,39 @@
+//! Ablation: address translation. EXPERIMENTS.md notes our base SP-2
+//! model omits TLB misses (one reason the simulated input Cholesky
+//! bottoms out above the paper's 8 MFLOPS). Attaching a POWER2-like TLB
+//! penalizes the strided input sweep far more than the blocked code,
+//! pushing the input curve toward the paper's floor.
+
+use shackle_bench::model;
+use shackle_kernels::shackles;
+use shackle_kernels::trace::trace_execution;
+use shackle_memsim::{Hierarchy, TlbConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let n = 300_i64;
+    let p = shackle_ir::kernels::cholesky_right();
+    let blocked = shackle_core::scan::generate_scanned(&p, &shackles::cholesky_product(&p, 32));
+    let params = BTreeMap::from([("N".to_string(), n)]);
+    let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 5);
+    println!("TLB ablation: Cholesky n = {n}, simulated SP-2 (MFLOPS)");
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "configuration", "no TLB", "with TLB"
+    );
+    for (label, prog) in [
+        ("input right-looking", &p),
+        ("fully blocked (32)", &blocked),
+    ] {
+        let mut plain = Hierarchy::sp2_thin_node();
+        let s1 = trace_execution(prog, &params, &init, &mut plain);
+        let mut tlb = Hierarchy::sp2_thin_node().with_tlb(TlbConfig::power2_like());
+        let s2 = trace_execution(prog, &params, &init, &mut tlb);
+        let m = model::perf(model::SCALAR_CYCLES_PER_FLOP);
+        println!(
+            "{label:<26} {:>12.2} {:>12.2}",
+            m.mflops(s1.flops, plain.cycles()),
+            m.mflops(s2.flops, tlb.cycles())
+        );
+    }
+}

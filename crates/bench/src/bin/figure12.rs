@@ -1,0 +1,18 @@
+//! Regenerates Figure 12: QR factorization by Householder reflections,
+//! four curves (input pointwise code, column-blocked compiler code, the
+//! same with DGEMM-style updates, LAPACK compact-WY).
+
+use shackle_bench::{figure12, render_table};
+
+fn main() {
+    let sizes = [50, 100, 150, 200, 250, 300];
+    let series = figure12(&sizes, 32);
+    print!(
+        "{}",
+        render_table(
+            "Figure 12: QR factorization (simulated SP-2, MFLOPS)",
+            "n",
+            &series
+        )
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 15: banded Cholesky factorization versus
+//! half-bandwidth (input dense-storage code, compiler-blocked code on
+//! band storage, LAPACK dpbtrf-style with native BLAS).
+
+use shackle_bench::{figure15, render_table};
+
+fn main() {
+    let n = 400;
+    let bands = [8, 16, 32, 64, 96, 128];
+    let series = figure15(n, &bands, 32);
+    print!(
+        "{}",
+        render_table(
+            &format!("Figure 15: banded Cholesky, n={n} (simulated SP-2, MFLOPS)"),
+            "band p",
+            &series
+        )
+    );
+}

@@ -1,0 +1,327 @@
+//! Blockings: cutting planes that partition an array into blocks (§4.1).
+
+use shackle_ir::{ArrayRef, Program};
+use shackle_polyhedra::lex::Direction;
+use shackle_polyhedra::{Constraint, LinExpr};
+use std::fmt;
+
+/// One set of parallel cutting planes: a normal vector and the constant
+/// separation (block width) between consecutive planes.
+///
+/// A data point `a` (1-based) gets coordinate `z` along this set when
+/// `width·z − (width−1) ≤ ⟨normal, a⟩ ≤ width·z` — i.e.
+/// `z = ⌈⟨normal, a⟩ / width⌉` for positive projections, matching the
+/// paper's `25·b − 24 ≤ J ≤ 25·b`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CutSet {
+    /// The plane normal, one entry per array dimension.
+    pub normal: Vec<i64>,
+    /// The distance between planes (block extent along the normal).
+    pub width: i64,
+    /// Traversal direction of block coordinates along this set.
+    pub direction: Direction,
+}
+
+impl CutSet {
+    /// Axis-aligned planes slicing dimension `dim` (0-based) of a
+    /// rank-`rank` array into slabs of `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= rank` or `width < 1`.
+    pub fn axis(dim: usize, rank: usize, width: i64) -> Self {
+        assert!(
+            dim < rank,
+            "cut dimension {dim} out of range for rank {rank}"
+        );
+        assert!(width >= 1, "block width must be at least 1");
+        let mut normal = vec![0; rank];
+        normal[dim] = 1;
+        Self {
+            normal,
+            width,
+            direction: Direction::Increasing,
+        }
+    }
+
+    /// General planes with the given normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normal is all zeros or `width < 1`.
+    pub fn general(normal: Vec<i64>, width: i64) -> Self {
+        assert!(normal.iter().any(|&c| c != 0), "normal must be non-zero");
+        assert!(width >= 1, "block width must be at least 1");
+        Self {
+            normal,
+            width,
+            direction: Direction::Increasing,
+        }
+    }
+
+    /// Reverse the traversal direction (the paper's §8: walk blocks
+    /// "bottom to top or right to left" when required for legality).
+    pub fn reversed(mut self) -> Self {
+        self.direction = Direction::Decreasing;
+        self
+    }
+
+    /// The projection `⟨normal, indices⟩` of a reference's subscripts
+    /// onto this cut set's normal.
+    pub fn project(&self, r: &ArrayRef) -> LinExpr {
+        assert_eq!(
+            self.normal.len(),
+            r.indices().len(),
+            "cut set rank does not match reference {r}"
+        );
+        let mut e = LinExpr::zero();
+        for (c, ix) in self.normal.iter().zip(r.indices()) {
+            e = e + ix.clone() * *c;
+        }
+        e
+    }
+
+    /// Constraints tying block coordinate `z` to the data touched by
+    /// reference `r`:
+    /// `width·z − (width−1) ≤ ⟨normal, r⟩ ≤ width·z`.
+    ///
+    /// For a [`Direction::Decreasing`] cut set the stored coordinate is
+    /// *negated* (`z = −⌈⟨n,r⟩/width⌉`), so that increasing lexicographic
+    /// traversal of the coordinate visits blocks in decreasing data
+    /// order — the §8 "bottom to top / right to left" walk — while
+    /// everything downstream (legality, code generation) still sees
+    /// ordinary affine constraints scanned in increasing order.
+    pub fn tie(&self, z: &str, r: &ArrayRef) -> Vec<Constraint> {
+        let proj = self.project(r);
+        let w = match self.direction {
+            Direction::Increasing => self.width,
+            Direction::Decreasing => -self.width,
+        };
+        let wz = LinExpr::term(z, w);
+        vec![
+            Constraint::ge(proj.clone(), wz.clone() - LinExpr::constant(self.width - 1)),
+            Constraint::le(proj, wz),
+        ]
+    }
+}
+
+impl fmt::Display for CutSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n: Vec<String> = self.normal.iter().map(|c| c.to_string()).collect();
+        write!(f, "planes n=({}) width {}", n.join(","), self.width)?;
+        if self.direction == Direction::Decreasing {
+            write!(f, " (reversed)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A blocking of one array: an ordered list of cut sets (the columns of
+/// the paper's *cutting planes matrix*). Blocks are visited in
+/// lexicographic order of their coordinates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Blocking {
+    array: String,
+    cuts: Vec<CutSet>,
+}
+
+impl Blocking {
+    /// A blocking of `array` by the given cut sets, applied in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cuts` is empty.
+    pub fn new(array: impl Into<String>, cuts: Vec<CutSet>) -> Self {
+        assert!(!cuts.is_empty(), "a blocking needs at least one cut set");
+        Self {
+            array: array.into(),
+            cuts,
+        }
+    }
+
+    /// The common case: square axis-aligned blocks of `width` on every
+    /// dimension of a rank-`rank` array, dimensions cut in the given
+    /// order.
+    ///
+    /// `dims_in_order` lists 0-based dimensions; e.g. `[1, 0]` cuts
+    /// columns first then rows, which makes lexicographic block order
+    /// "left to right, then top to bottom" — the order the paper's
+    /// Figure 7 walks Cholesky blocks.
+    pub fn square(
+        array: impl Into<String>,
+        rank: usize,
+        dims_in_order: &[usize],
+        width: i64,
+    ) -> Self {
+        let cuts = dims_in_order
+            .iter()
+            .map(|&d| CutSet::axis(d, rank, width))
+            .collect();
+        Self::new(array, cuts)
+    }
+
+    /// The blocked array's name.
+    pub fn array(&self) -> &str {
+        &self.array
+    }
+
+    /// The cut sets in application order.
+    pub fn cuts(&self) -> &[CutSet] {
+        &self.cuts
+    }
+
+    /// Per-coordinate traversal directions.
+    pub fn directions(&self) -> Vec<Direction> {
+        self.cuts.iter().map(|c| c.direction).collect()
+    }
+
+    /// Constraints tying block coordinates `zs` (one name per cut set)
+    /// to the data touched by reference `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zs.len()` differs from the number of cut sets or if
+    /// `r` is not a reference to the blocked array.
+    pub fn tie(&self, zs: &[String], r: &ArrayRef) -> Vec<Constraint> {
+        assert_eq!(zs.len(), self.cuts.len(), "one coordinate per cut set");
+        assert_eq!(
+            r.array(),
+            self.array,
+            "reference {r} is not to {}",
+            self.array
+        );
+        self.cuts
+            .iter()
+            .zip(zs)
+            .flat_map(|(c, z)| c.tie(z, r))
+            .collect()
+    }
+
+    /// Loop bounds for block coordinate `k` when scanning all blocks of
+    /// the declared array: `1 ..= ceil(extent / width)` for an
+    /// increasing axis-aligned cut of a 1-based array, and the negated
+    /// mirror `−ceil(extent / width) ..= −1` for a decreasing one (see
+    /// [`CutSet::tie`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-axis-aligned cut sets (code generation is
+    /// restricted to axis-aligned blockings; legality is not).
+    pub fn coord_bounds(
+        &self,
+        k: usize,
+        program: &Program,
+    ) -> (shackle_ir::Bound, shackle_ir::Bound) {
+        use shackle_ir::{Bound, BoundTerm};
+        let cut = &self.cuts[k];
+        let axis = {
+            let nz: Vec<usize> = (0..cut.normal.len())
+                .filter(|&d| cut.normal[d] != 0)
+                .collect();
+            assert!(
+                nz.len() == 1 && cut.normal[nz[0]] == 1,
+                "code generation requires axis-aligned unit normals, got {cut}"
+            );
+            nz[0]
+        };
+        let decl = program
+            .array(&self.array)
+            .unwrap_or_else(|| panic!("array {} not declared", self.array));
+        let extent = decl.dims()[axis].clone();
+        let w = cut.width;
+        match cut.direction {
+            Direction::Increasing => (
+                Bound::constant(1),
+                // z <= ceil(extent / w) = floor((extent + w - 1) / w)
+                Bound::new(vec![BoundTerm::div(extent + LinExpr::constant(w - 1), w)]),
+            ),
+            Direction::Decreasing => (
+                // z >= -ceil(extent / w) = ceil(-(extent + w - 1) / w)
+                Bound::new(vec![BoundTerm::div(
+                    -(extent + LinExpr::constant(w - 1)),
+                    w,
+                )]),
+                Bound::constant(-1),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Blocking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {} by [", self.array)?;
+        for (i, c) in self.cuts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_tie_matches_paper_form() {
+        // block J with width 25: 25b - 24 <= J <= 25b
+        let cut = CutSet::axis(1, 2, 25);
+        let r = ArrayRef::vars("A", &["I", "J"]);
+        let cs = cut.tie("b", &r);
+        assert_eq!(cs.len(), 2);
+        // J=25, b=1 ok; J=26,b=1 not; J=26,b=2 ok
+        let holds = |j: i64, b: i64| cs.iter().all(|c| c.eval(&|v| if v == "b" { b } else { j }));
+        assert!(holds(25, 1));
+        assert!(!holds(26, 1));
+        assert!(holds(26, 2));
+        assert!(holds(1, 1));
+        assert!(!holds(0, 1));
+    }
+
+    #[test]
+    fn general_normal_projection() {
+        // anti-diagonal planes n = (1, 1)
+        let cut = CutSet::general(vec![1, 1], 10);
+        let r = ArrayRef::vars("A", &["I", "J"]);
+        let p = cut.project(&r);
+        assert_eq!(p.to_string(), "I + J");
+    }
+
+    #[test]
+    fn square_blocking_col_major_order() {
+        let b = Blocking::square("A", 2, &[1, 0], 64);
+        assert_eq!(b.cuts().len(), 2);
+        // first cut set slices columns (dimension 1)
+        assert_eq!(b.cuts()[0].normal, vec![0, 1]);
+        assert_eq!(b.cuts()[1].normal, vec![1, 0]);
+    }
+
+    #[test]
+    fn tie_block_coordinates_unique() {
+        // Block coordinates are functionally determined: a point cannot
+        // be in two different blocks.
+        let b = Blocking::square("A", 2, &[0, 1], 25);
+        let r = ArrayRef::vars("A", &["I", "J"]);
+        let c1 = b.tie(&["z1".into(), "z2".into()], &r);
+        let c2 = b.tie(&["w1".into(), "w2".into()], &r);
+        let mut sys = shackle_polyhedra::System::from_constraints(c1.into_iter().chain(c2));
+        sys.add(Constraint::gt(LinExpr::var("z1"), LinExpr::var("w1")));
+        assert!(!sys.is_integer_feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-aligned")]
+    fn coord_bounds_rejects_general_normals() {
+        let b = Blocking::new("A", vec![CutSet::general(vec![1, 1], 10)]);
+        let p = shackle_ir::kernels::matmul_ijk();
+        let _ = b.coord_bounds(0, &p);
+    }
+
+    #[test]
+    fn reversed_direction_recorded() {
+        let b = Blocking::new("A", vec![CutSet::axis(0, 2, 8).reversed()]);
+        assert_eq!(b.directions(), vec![Direction::Decreasing]);
+    }
+}

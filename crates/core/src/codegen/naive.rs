@@ -1,0 +1,136 @@
+//! The Figure 5 generator: block loops + original tree + membership
+//! guards.
+
+use crate::codegen::{block_var_names, per_factor};
+use crate::Shackle;
+use shackle_ir::{loop_b, Node, Program, StmtId};
+use shackle_polyhedra::Constraint;
+
+/// Generate the naive shackled form of `program` under the given shackle
+/// product.
+///
+/// Structure: one loop per block coordinate (lexicographic order,
+/// outermost first), then the original loop tree with every statement
+/// wrapped in an `if` testing that its shackled references (one per
+/// factor) fall in the current blocks — exactly the paper's Figure 5.
+///
+/// This form is always semantically faithful to the shackle
+/// specification; the scanner ([`super::scan::generate_scanned`])
+/// produces equivalent but simplified code.
+///
+/// # Panics
+///
+/// Panics if `factors` is empty or a blocking is not axis-aligned
+/// (a code-generation restriction; legality has no such limit).
+///
+/// # Examples
+///
+/// ```
+/// use shackle_core::{naive::generate_naive, Blocking, Shackle};
+/// use shackle_ir::kernels;
+/// let p = kernels::matmul_ijk();
+/// let s = Shackle::on_writes(&p, Blocking::square("C", 2, &[0, 1], 25));
+/// let blocked = generate_naive(&p, &[s]);
+/// let text = blocked.to_string();
+/// assert!(text.contains("do b1"));
+/// assert!(text.contains("if"));
+/// ```
+pub fn generate_naive(program: &Program, factors: &[Shackle]) -> Program {
+    assert!(!factors.is_empty(), "need at least one shackle");
+    let names = block_var_names(program, factors);
+    let slices = per_factor(&names, factors);
+
+    // per-statement guards: membership of each shackled ref in each
+    // factor's current block
+    let guards: Vec<Vec<Constraint>> = (0..program.stmts().len())
+        .map(|id| {
+            factors
+                .iter()
+                .zip(&slices)
+                .flat_map(|(f, zs)| f.tie_for(id, zs, &|_| None))
+                .collect()
+        })
+        .collect();
+
+    fn wrap(nodes: &[Node], guards: &[Vec<Constraint>]) -> Vec<Node> {
+        nodes
+            .iter()
+            .map(|n| match n {
+                Node::Stmt(id) => Node::If(guards[*id].clone(), vec![Node::Stmt(*id)]),
+                Node::Loop(l) => {
+                    let mut l2 = (**l).clone();
+                    l2.body = wrap(&l.body, guards);
+                    Node::Loop(Box::new(l2))
+                }
+                Node::If(cs, b) => Node::If(cs.clone(), wrap(b, guards)),
+            })
+            .collect()
+    }
+
+    let mut body = wrap(program.body(), &guards);
+
+    // block loops, innermost (last coordinate) built first
+    let mut flat: Vec<(usize, usize)> = Vec::new(); // (factor, cut)
+    for (fi, f) in factors.iter().enumerate() {
+        for k in 0..f.coord_count() {
+            flat.push((fi, k));
+        }
+    }
+    let _ = program.stmts().len() as StmtId;
+    for (idx, (fi, k)) in flat.iter().enumerate().rev() {
+        let (lower, upper) = factors[*fi].blocking().coord_bounds(*k, program);
+        body = vec![loop_b(names[idx].clone(), lower, upper, body)];
+    }
+
+    program
+        .with_body(body)
+        .with_name(format!("{}-shackled-naive", program.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Blocking;
+    use shackle_ir::kernels;
+
+    #[test]
+    fn matmul_naive_matches_fig5_shape() {
+        let p = kernels::matmul_ijk();
+        let s = Shackle::on_writes(&p, Blocking::square("C", 2, &[0, 1], 25));
+        let g = generate_naive(&p, &[s]);
+        let text = g.to_string();
+        // two block loops with ceil(N/25) upper bound, original I-J-K
+        // loops, and a guard mentioning both block coordinates
+        assert!(text.contains("do b1 = 1 .. floord(N + 24, 25)"), "{text}");
+        assert!(text.contains("do b2 = 1 .. floord(N + 24, 25)"), "{text}");
+        assert!(text.contains("do I = 1 .. N"));
+        assert!(text.contains("do K = 1 .. N"));
+        assert!(text.contains("if ("));
+        assert!(text.contains("b1"));
+    }
+
+    #[test]
+    fn cholesky_naive_preserves_statement_count() {
+        let p = kernels::cholesky_right();
+        let s = Shackle::on_writes(&p, Blocking::square("A", 2, &[1, 0], 64));
+        let g = generate_naive(&p, &[s]);
+        assert_eq!(g.stmts().len(), 3);
+        assert_eq!(g.stmt_order().len(), 3);
+    }
+
+    #[test]
+    fn product_adds_more_block_loops() {
+        let p = kernels::matmul_ijk();
+        let sc = Shackle::on_writes(&p, Blocking::square("C", 2, &[0, 1], 25));
+        let sa = Shackle::new(
+            &p,
+            Blocking::square("A", 2, &[0, 1], 25),
+            vec![shackle_ir::ArrayRef::vars("A", &["I", "K"])],
+        );
+        let g = generate_naive(&p, &[sc, sa]);
+        let text = g.to_string();
+        for b in ["b1", "b2", "b3", "b4"] {
+            assert!(text.contains(&format!("do {b}")), "missing {b}:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Automatic shackle selection — the paper's §8 "ongoing work",
+//! implemented: "a search method that enumerates over plausible data
+//! shackles, evaluates each one and picks the best."
+//!
+//! The search space follows the paper's hints:
+//!
+//! * cutting planes are axis-aligned (§6.2: "to a first order of
+//!   approximation, the orientation of cutting planes is irrelevant …
+//!   provided the blocks have the same volume"), applied in each
+//!   dimension order;
+//! * per statement, the candidate shackled references are the
+//!   statement's actual references to the blocked array (callers can
+//!   extend the candidate set with dummy references);
+//! * candidates are filtered by the exact Theorem 1 legality test;
+//! * products are grown greedily using Theorem 2 ("If there is no
+//!   statement left which has an unconstrained reference, then there is
+//!   no benefit to be obtained from extending the product").
+//!
+//! Ranking candidates needs a cost model (§8 again); this module keeps
+//! the framework cost-model-agnostic: [`enumerate_legal`] returns every
+//! legal candidate and the caller scores them (the workspace's
+//! benchmark harness scores with the cache simulator; see the
+//! `auto_shackle` example).
+
+use crate::{check_legality_with_deps, span, Blocking, CutSet, Shackle};
+use shackle_ir::deps::{dependences, Dependence};
+use shackle_ir::{ArrayRef, Program, StmtId};
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Block width used for every cut set during the search (the paper
+    /// treats block-size selection as a separate problem).
+    pub width: i64,
+    /// Consider blocking each array that appears in the program.
+    pub arrays: Option<Vec<String>>,
+    /// Upper bound on candidates per array (the cross product of
+    /// per-statement reference choices can explode; the paper suggests
+    /// heuristics to cut the search).
+    pub max_candidates_per_array: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            width: 64,
+            arrays: None,
+            max_candidates_per_array: 256,
+        }
+    }
+}
+
+/// A legal candidate shackle with its Theorem 2 diagnosis.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The legal shackle.
+    pub shackle: Shackle,
+    /// References left unconstrained (empty means fully blocked).
+    pub unconstrained: Vec<(StmtId, ArrayRef)>,
+}
+
+/// Enumerate every legal single shackle within the configuration.
+///
+/// For each chosen array, every combination of per-statement shackled
+/// references (drawn from the statement's own references to that array;
+/// statements with no such reference get the identity-like dummy built
+/// from their first reference's subscripts — callers needing smarter
+/// dummies should construct shackles manually) is tested with the exact
+/// legality check.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_core::search::{enumerate_legal, SearchConfig};
+/// let p = shackle_ir::kernels::cholesky_right();
+/// let legal = enumerate_legal(&p, &SearchConfig { width: 64, ..Default::default() });
+/// // §6.1's enumeration: three legal reference choices on A, each
+/// // under two traversal orders (see EXPERIMENTS.md)
+/// assert_eq!(legal.len(), 6);
+/// ```
+pub fn enumerate_legal(program: &Program, config: &SearchConfig) -> Vec<Candidate> {
+    let deps = dependences(program);
+    let arrays: Vec<String> = config.arrays.clone().unwrap_or_else(|| {
+        program
+            .arrays()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect()
+    });
+    let mut out = Vec::new();
+    for array in arrays {
+        let Some(decl) = program.array(&array) else {
+            continue;
+        };
+        // candidate shackled references per statement
+        let mut choices: Vec<Vec<ArrayRef>> = Vec::new();
+        let mut feasible = true;
+        for s in program.stmts() {
+            let mut refs: Vec<ArrayRef> = Vec::new();
+            for r in s.refs_to(&array) {
+                if !refs.contains(r) {
+                    refs.push(r.clone());
+                }
+            }
+            if refs.is_empty() {
+                // no reference to the array: skip this array for the
+                // automatic search (a user-supplied dummy is needed)
+                feasible = false;
+                break;
+            }
+            choices.push(refs);
+        }
+        if !feasible {
+            continue;
+        }
+        let total: usize = choices.iter().map(Vec::len).product();
+        if total > config.max_candidates_per_array {
+            continue;
+        }
+        // dimension orders: identity and reversed-order application
+        let rank = decl.rank();
+        let orders: Vec<Vec<usize>> = if rank == 1 {
+            vec![vec![0]]
+        } else {
+            vec![(0..rank).collect(), (0..rank).rev().collect()]
+        };
+        for order in &orders {
+            for combo in cross_product(&choices) {
+                let cuts: Vec<CutSet> = order
+                    .iter()
+                    .map(|&d| CutSet::axis(d, rank, config.width))
+                    .collect();
+                let shackle = Shackle::new(program, Blocking::new(&array, cuts), combo.clone());
+                if check_legality_with_deps(program, std::slice::from_ref(&shackle), &deps)
+                    .is_legal()
+                {
+                    let unconstrained =
+                        span::unconstrained_refs(program, std::slice::from_ref(&shackle));
+                    // dedupe across dimension orders with identical refs
+                    if !out.iter().any(|c: &Candidate| c.shackle == shackle) {
+                        out.push(Candidate {
+                            shackle,
+                            unconstrained,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn cross_product(choices: &[Vec<ArrayRef>]) -> Vec<Vec<ArrayRef>> {
+    let mut acc: Vec<Vec<ArrayRef>> = vec![Vec::new()];
+    for c in choices {
+        let mut next = Vec::with_capacity(acc.len() * c.len());
+        for prefix in &acc {
+            for r in c {
+                let mut p = prefix.clone();
+                p.push(r.clone());
+                next.push(p);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// Grow a product greedily until Theorem 2 reports no unconstrained
+/// references (or no candidate helps): the §6.2 recipe automated.
+///
+/// Starting from `seed`, repeatedly conjoin the legal candidate that
+/// most reduces the number of unconstrained references; ties broken by
+/// enumeration order. Every prefix of the result is legal (the product
+/// of legal shackles is legal).
+///
+/// # Examples
+///
+/// ```
+/// use shackle_core::search::{complete_product, enumerate_legal, SearchConfig};
+/// let p = shackle_ir::kernels::matmul_ijk();
+/// let cfg = SearchConfig { width: 25, ..Default::default() };
+/// let legal = enumerate_legal(&p, &cfg);
+/// let seed = vec![legal[0].shackle.clone()];
+/// let product = complete_product(&p, seed, &legal);
+/// assert!(shackle_core::span::unconstrained_refs(&p, &product).is_empty());
+/// ```
+pub fn complete_product(
+    program: &Program,
+    seed: Vec<Shackle>,
+    candidates: &[Candidate],
+) -> Vec<Shackle> {
+    let deps: Vec<Dependence> = dependences(program);
+    let mut product = seed;
+    loop {
+        let open = span::unconstrained_refs(program, &product);
+        if open.is_empty() {
+            return product;
+        }
+        let mut best: Option<(usize, Vec<Shackle>)> = None;
+        for c in candidates {
+            let mut trial = product.clone();
+            trial.push(c.shackle.clone());
+            if !check_legality_with_deps(program, &trial, &deps).is_legal() {
+                continue;
+            }
+            let remaining = span::unconstrained_refs(program, &trial).len();
+            if remaining < open.len() && best.as_ref().is_none_or(|(b, _)| remaining < *b) {
+                best = Some((remaining, trial));
+            }
+        }
+        match best {
+            Some((_, trial)) => product = trial,
+            None => return product, // no candidate helps; stop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shackle_ir::kernels;
+
+    #[test]
+    fn matmul_search_finds_all_single_shackles() {
+        let p = kernels::matmul_ijk();
+        let legal = enumerate_legal(
+            &p,
+            &SearchConfig {
+                width: 25,
+                ..Default::default()
+            },
+        );
+        // C, A and B each admit one reference choice, two dimension
+        // orders each; all legal. Distinct shackles: 3 arrays x 2
+        // orders = 6.
+        assert_eq!(legal.len(), 6);
+        // none is fully blocking on its own
+        assert!(legal.iter().all(|c| !c.unconstrained.is_empty()));
+    }
+
+    #[test]
+    fn cholesky_search_matches_manual_enumeration() {
+        let p = kernels::cholesky_right();
+        let legal = enumerate_legal(
+            &p,
+            &SearchConfig {
+                width: 64,
+                ..Default::default()
+            },
+        );
+        // the §6.1 space: S1 x {A[J,J]}, S2 x {A[I,J], A[J,J]},
+        // S3 x {A[L,K], A[L,J], A[K,J]}; exactly three legal, under
+        // both dimension orders -> 6 candidates, 6 distinct
+        assert_eq!(legal.len(), 6);
+        let writes = Shackle::on_writes(&p, Blocking::square("A", 2, &[0, 1], 64));
+        assert!(legal.iter().any(|c| c.shackle == writes));
+    }
+
+    #[test]
+    fn complete_product_closes_matmul() {
+        let p = kernels::matmul_ijk();
+        let cfg = SearchConfig {
+            width: 8,
+            ..Default::default()
+        };
+        let legal = enumerate_legal(&p, &cfg);
+        for c in &legal {
+            let product = complete_product(&p, vec![c.shackle.clone()], &legal);
+            assert!(
+                span::unconstrained_refs(&p, &product).is_empty(),
+                "product seeded by {} should close",
+                c.shackle
+            );
+            assert!(product.len() <= 3, "no oversized products");
+        }
+    }
+
+    #[test]
+    fn complete_product_closes_cholesky() {
+        let p = kernels::cholesky_right();
+        let cfg = SearchConfig {
+            width: 16,
+            ..Default::default()
+        };
+        let legal = enumerate_legal(&p, &cfg);
+        let writes = legal
+            .iter()
+            .find(|c| c.shackle.refs()[2].to_string() == "A[L, K]")
+            .expect("writes shackle found");
+        let product = complete_product(&p, vec![writes.shackle.clone()], &legal);
+        assert!(span::unconstrained_refs(&p, &product).is_empty());
+        let deps = shackle_ir::deps::dependences(&p);
+        assert!(check_legality_with_deps(&p, &product, &deps).is_legal());
+    }
+
+    #[test]
+    fn candidate_cap_prunes_oversized_searches() {
+        let p = kernels::cholesky_right();
+        let legal = enumerate_legal(
+            &p,
+            &SearchConfig {
+                width: 16,
+                max_candidates_per_array: 1, // cross product is 6 > 1
+                ..Default::default()
+            },
+        );
+        assert!(legal.is_empty());
+    }
+
+    #[test]
+    fn array_filter_restricts_search() {
+        let p = kernels::matmul_ijk();
+        let legal = enumerate_legal(
+            &p,
+            &SearchConfig {
+                width: 16,
+                arrays: Some(vec!["C".to_string()]),
+                ..Default::default()
+            },
+        );
+        // only C's two dimension orders
+        assert_eq!(legal.len(), 2);
+        assert!(legal.iter().all(|c| c.shackle.blocking().array() == "C"));
+    }
+
+    #[test]
+    fn search_skips_arrays_without_references_in_every_statement() {
+        // QR's A-array search is skipped automatically because S1/S4/S6
+        // do not reference A (they need dummies); T and W likewise
+        let p = kernels::qr_householder();
+        let legal = enumerate_legal(&p, &SearchConfig::default());
+        assert!(legal.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Theorem 2: which references stay unconstrained by a shackle product.
+//!
+//! "The data accessed by `F_{n+1}` is bounded by block size parameters
+//! iff every row of `F_{n+1}` is spanned by the rows of `F_1 … F_n`" —
+//! where the `F_i` are the access matrices of the shackled references of
+//! a statement and `F_{n+1}` is the access matrix of an unshackled
+//! reference. This module implements the rational row-span test and the
+//! derived guidance of §6.2 ("How big should the Cartesian products
+//! be?").
+
+use crate::Shackle;
+use shackle_ir::{ArrayRef, Program, StmtId};
+use shackle_polyhedra::num::gcd_slice;
+
+/// Reduce `rows` to row-echelon form over ℚ using exact integer
+/// arithmetic (fraction-free Gaussian elimination), in place; returns
+/// the rank.
+#[allow(clippy::needless_range_loop)] // row/col indices mirror the textbook algorithm
+fn echelonize(rows: &mut [Vec<i64>]) -> usize {
+    let ncols = rows.first().map_or(0, Vec::len);
+    let mut rank = 0;
+    for col in 0..ncols {
+        // find pivot
+        let Some(pivot) = (rank..rows.len()).find(|&r| rows[r][col] != 0) else {
+            continue;
+        };
+        rows.swap(rank, pivot);
+        let p = rows[rank][col];
+        for r in 0..rows.len() {
+            if r != rank && rows[r][col] != 0 {
+                let q = rows[r][col];
+                // row_r := p*row_r - q*row_rank  (eliminates col)
+                for c in 0..ncols {
+                    let val =
+                        (p as i128) * (rows[r][c] as i128) - (q as i128) * (rows[rank][c] as i128);
+                    rows[r][c] = i64::try_from(val).expect("span arithmetic overflow");
+                }
+                let g = gcd_slice(&rows[r]);
+                if g > 1 {
+                    for c in &mut rows[r] {
+                        *c /= g;
+                    }
+                }
+            }
+        }
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    // move zero rows (if any) to the end: already guaranteed by the loop
+    rank
+}
+
+/// Is every row of `candidate` in the rational row space of `basis`?
+///
+/// # Examples
+///
+/// ```
+/// use shackle_core::span::row_space_contains;
+/// // rows of C[I,J] and A[I,K] access matrices span e3
+/// let basis = vec![
+///     vec![1, 0, 0], // I
+///     vec![0, 1, 0], // J
+///     vec![0, 0, 1], // K
+/// ];
+/// assert!(row_space_contains(&basis, &[vec![0, 1, 1]]));
+/// let only_ij = vec![vec![1, 0, 0], vec![0, 1, 0]];
+/// assert!(!row_space_contains(&only_ij, &[vec![0, 0, 1]]));
+/// ```
+pub fn row_space_contains(basis: &[Vec<i64>], candidate: &[Vec<i64>]) -> bool {
+    if candidate.is_empty() {
+        return true;
+    }
+    let mut b: Vec<Vec<i64>> = basis.to_vec();
+    let base_rank = echelonize(&mut b);
+    for row in candidate {
+        let mut ext = basis.to_vec();
+        ext.push(row.clone());
+        let r = echelonize(&mut ext);
+        if r > base_rank {
+            return false;
+        }
+    }
+    true
+}
+
+/// References of the program left unconstrained by the shackle product:
+/// for each statement, each read/write whose access-matrix rows are not
+/// all spanned by the shackled references' rows (Theorem 2).
+///
+/// An empty result is the paper's stopping criterion for growing a
+/// Cartesian product: "If there is no statement left which has an
+/// unconstrained reference, then there is no benefit to be obtained
+/// from extending the product."
+///
+/// # Examples
+///
+/// ```
+/// use shackle_core::{span::unconstrained_refs, Blocking, Shackle};
+/// use shackle_ir::kernels;
+/// let p = kernels::matmul_ijk();
+/// let sc = Shackle::on_writes(&p, Blocking::square("C", 2, &[0, 1], 25));
+/// // shackling C alone leaves A[I,K] and B[K,J] unconstrained (K free)
+/// let un = unconstrained_refs(&p, &[sc]);
+/// assert_eq!(un.len(), 2);
+/// ```
+pub fn unconstrained_refs(program: &Program, factors: &[Shackle]) -> Vec<(StmtId, ArrayRef)> {
+    let mut out = Vec::new();
+    for id in 0..program.stmts().len() {
+        let ctx = program.context(id);
+        let loop_vars = ctx.iter_vars();
+        let mut basis: Vec<Vec<i64>> = Vec::new();
+        for f in factors {
+            basis.extend(f.refs()[id].access_matrix(&loop_vars));
+        }
+        for (r, _) in program.stmts()[id].refs() {
+            let m = r.access_matrix(&loop_vars);
+            if !row_space_contains(&basis, &m) {
+                // report each distinct reference once per statement
+                if !out
+                    .iter()
+                    .any(|(i, pr): &(StmtId, ArrayRef)| *i == id && pr == r)
+                {
+                    out.push((id, r.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Blocking;
+    use shackle_ir::kernels;
+
+    #[test]
+    fn echelon_rank() {
+        let mut rows = vec![vec![1, 2, 3], vec![2, 4, 6], vec![0, 1, 1]];
+        assert_eq!(echelonize(&mut rows), 2);
+        let mut id3 = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        assert_eq!(echelonize(&mut id3), 3);
+        let mut empty: Vec<Vec<i64>> = vec![];
+        assert_eq!(echelonize(&mut empty), 0);
+    }
+
+    #[test]
+    fn span_with_rational_combination() {
+        // [1,1] = 1/2*[2,0] + 1/2*[0,2] — rational coefficients needed
+        let basis = vec![vec![2, 0], vec![0, 2]];
+        assert!(row_space_contains(&basis, &[vec![1, 1]]));
+    }
+
+    #[test]
+    fn paper_example_c_alone_leaves_b_unconstrained() {
+        // §6.2: "Shackling [C[I,J]] does not bound the data accessed by
+        // row [0 0 1] of the access matrix of B[K,J]."
+        let p = kernels::matmul_ijk();
+        let sc = Shackle::on_writes(&p, Blocking::square("C", 2, &[0, 1], 25));
+        let un = unconstrained_refs(&p, std::slice::from_ref(&sc));
+        let arrays: Vec<&str> = un.iter().map(|(_, r)| r.array()).collect();
+        assert!(arrays.contains(&"A"));
+        assert!(arrays.contains(&"B"));
+        // "taking the Cartesian product … with the shackle obtained from
+        // A[I,K] constrains the data accessed by B[K,J]"
+        let sa = Shackle::new(
+            &p,
+            Blocking::square("A", 2, &[0, 1], 25),
+            vec![shackle_ir::ArrayRef::vars("A", &["I", "K"])],
+        );
+        assert!(unconstrained_refs(&p, &[sc, sa]).is_empty());
+    }
+
+    #[test]
+    fn cholesky_writes_shackle_constrains_everything_on_diag_stmts() {
+        // S1: A[J,J] = sqrt(A[J,J]) — the lone loop var J is spanned.
+        let p = kernels::cholesky_right();
+        let s = Shackle::on_writes(&p, Blocking::square("A", 2, &[1, 0], 64));
+        let un = unconstrained_refs(&p, &[s]);
+        assert!(un.iter().all(|(id, _)| *id != 0), "S1 fully constrained");
+        // S3 writes A[L,K]; reads A[L,J], A[K,J] involve J which is not
+        // spanned by rows {e_L, e_K}… J appears in reads only → those
+        // reads are unconstrained (reads come from the whole left part
+        // of the matrix, as the paper notes below Figure 8).
+        assert!(un.iter().any(|(id, _)| *id == 2));
+    }
+}

@@ -1,0 +1,271 @@
+//! Concrete dense arrays (column-major, 1-based) and workspaces.
+
+use shackle_ir::Program;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dense `f64` array stored in column-major (FORTRAN) order with
+/// 1-based subscripts, matching the paper's codes and the BLAS/LAPACK
+/// convention its baselines assume.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseArray {
+    dims: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl DenseArray {
+    /// A zero-filled array with the given extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or an extent is zero.
+    pub fn zeros(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "arrays need at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "extents must be positive");
+        let len = dims.iter().product();
+        Self {
+            dims,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Build from a function of the (1-based) subscripts.
+    pub fn from_fn(dims: Vec<usize>, f: impl Fn(&[usize]) -> f64) -> Self {
+        let mut a = Self::zeros(dims);
+        let rank = a.dims.len();
+        let mut idx = vec![1usize; rank];
+        loop {
+            let off = a.offset_usize(&idx);
+            a.data[off] = f(&idx);
+            // column-major odometer: first index varies fastest
+            let mut d = 0;
+            loop {
+                if d == rank {
+                    return a;
+                }
+                if idx[d] < a.dims[d] {
+                    idx[d] += 1;
+                    break;
+                }
+                idx[d] = 1;
+                d += 1;
+            }
+        }
+    }
+
+    /// The extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data in column-major order.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    fn offset_usize(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut off = 0;
+        let mut stride = 1;
+        for (d, &i) in idx.iter().enumerate() {
+            debug_assert!(i >= 1 && i <= self.dims[d], "index {i} out of range");
+            off += (i - 1) * stride;
+            stride *= self.dims[d];
+        }
+        off
+    }
+
+    /// Column-major offset of a 1-based subscript vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a subscript is out of range.
+    pub fn offset(&self, idx: &[i64]) -> usize {
+        let mut off = 0;
+        let mut stride = 1;
+        for (d, &i) in idx.iter().enumerate() {
+            assert!(
+                i >= 1 && (i as usize) <= self.dims[d],
+                "index {i} out of range 1..={} in dimension {d}",
+                self.dims[d]
+            );
+            off += (i as usize - 1) * stride;
+            stride *= self.dims[d];
+        }
+        off
+    }
+
+    /// Read element at 1-based subscripts.
+    pub fn get(&self, idx: &[i64]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Write element at 1-based subscripts.
+    pub fn set(&mut self, idx: &[i64], v: f64) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+}
+
+/// A named collection of arrays: the memory a program executes against.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Workspace {
+    arrays: BTreeMap<String, DenseArray>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate every array a program declares, with extents evaluated
+    /// under `params`, initialized by `init(name, subscripts)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter needed by an extent is missing or an extent
+    /// is non-positive.
+    pub fn for_program(
+        program: &Program,
+        params: &BTreeMap<String, i64>,
+        init: impl Fn(&str, &[usize]) -> f64,
+    ) -> Self {
+        let mut ws = Self::new();
+        for decl in program.arrays() {
+            let dims: Vec<usize> = decl
+                .dims()
+                .iter()
+                .map(|e| {
+                    let v = e.eval(&|p| {
+                        *params
+                            .get(p)
+                            .unwrap_or_else(|| panic!("missing parameter {p}"))
+                    });
+                    assert!(v > 0, "extent of {} must be positive, got {v}", decl.name());
+                    v as usize
+                })
+                .collect();
+            let name = decl.name().to_string();
+            ws.insert(
+                name.clone(),
+                DenseArray::from_fn(dims, |idx| init(&name, idx)),
+            );
+        }
+        ws
+    }
+
+    /// Insert (or replace) an array.
+    pub fn insert(&mut self, name: impl Into<String>, a: DenseArray) {
+        self.arrays.insert(name.into(), a);
+    }
+
+    /// Look up an array.
+    pub fn array(&self, name: &str) -> Option<&DenseArray> {
+        self.arrays.get(name)
+    }
+
+    /// Look up an array mutably.
+    pub fn array_mut(&mut self, name: &str) -> Option<&mut DenseArray> {
+        self.arrays.get_mut(name)
+    }
+
+    /// Iterate over `(name, array)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DenseArray)> {
+        self.arrays.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The largest relative element-wise difference against another
+    /// workspace with the same shape (∞ on shape mismatch).
+    pub fn max_rel_diff(&self, other: &Workspace) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (name, a) in &self.arrays {
+            let Some(b) = other.arrays.get(name) else {
+                return f64::INFINITY;
+            };
+            if a.dims() != b.dims() {
+                return f64::INFINITY;
+            }
+            for (x, y) in a.data().iter().zip(b.data()) {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                worst = worst.max((x - y).abs() / scale);
+            }
+        }
+        if other.arrays.len() != self.arrays.len() {
+            return f64::INFINITY;
+        }
+        worst
+    }
+}
+
+impl fmt::Display for Workspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, a) in &self.arrays {
+            writeln!(f, "{name}: dims {:?}", a.dims())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_layout() {
+        let a = DenseArray::from_fn(vec![3, 2], |idx| (idx[0] * 10 + idx[1]) as f64);
+        // column-major: (1,1),(2,1),(3,1),(1,2),(2,2),(3,2)
+        assert_eq!(a.data(), &[11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
+        assert_eq!(a.offset(&[1, 2]), 3);
+        assert_eq!(a.get(&[3, 2]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        let a = DenseArray::zeros(vec![2, 2]);
+        let _ = a.get(&[3, 1]);
+    }
+
+    #[test]
+    fn workspace_from_program() {
+        let p = shackle_ir::kernels::matmul_ijk();
+        let params = BTreeMap::from([("N".to_string(), 4i64)]);
+        let ws = Workspace::for_program(&p, &params, |name, idx| {
+            if name == "C" {
+                0.0
+            } else {
+                (idx[0] + idx[1]) as f64
+            }
+        });
+        assert_eq!(ws.array("A").unwrap().dims(), &[4, 4]);
+        assert_eq!(ws.array("C").unwrap().get(&[2, 2]), 0.0);
+        assert_eq!(ws.array("B").unwrap().get(&[1, 3]), 4.0);
+    }
+
+    #[test]
+    fn rel_diff() {
+        let mut w1 = Workspace::new();
+        w1.insert("A", DenseArray::from_fn(vec![2], |_| 1.0));
+        let mut w2 = Workspace::new();
+        w2.insert("A", DenseArray::from_fn(vec![2], |_| 1.0 + 1e-12));
+        assert!(w1.max_rel_diff(&w2) < 1e-10);
+        let w3 = Workspace::new();
+        assert_eq!(w1.max_rel_diff(&w3), f64::INFINITY);
+    }
+}

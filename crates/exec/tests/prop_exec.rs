@@ -1,0 +1,103 @@
+//! Property tests for the interpreter: statistics formulas, bound
+//! evaluation and workspace comparison over random problem sizes.
+
+use proptest::prelude::*;
+use shackle_exec::{execute, verify, NullObserver, Workspace};
+use shackle_ir::{
+    kernels, loop_b, stmt, ArrayDecl, ArrayRef, Bound, BoundTerm, ScalarExpr, Statement,
+};
+use shackle_polyhedra::LinExpr;
+use std::collections::BTreeMap;
+
+fn params(n: i64) -> BTreeMap<String, i64> {
+    BTreeMap::from([("N".to_string(), n)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact operation counts for matmul: n³ instances, 2n³ flops,
+    /// 3n³ loads, n³ stores.
+    #[test]
+    fn matmul_stat_formulas(n in 1i64..12) {
+        let p = kernels::matmul_ijk();
+        let mut ws = Workspace::for_program(&p, &params(n), |_, _| 1.0);
+        let stats = execute(&p, &mut ws, &params(n), &mut NullObserver);
+        let n3 = (n * n * n) as u64;
+        prop_assert_eq!(stats.instances, n3);
+        prop_assert_eq!(stats.flops, 2 * n3);
+        prop_assert_eq!(stats.loads, 3 * n3);
+        prop_assert_eq!(stats.stores, n3);
+    }
+
+    /// Cholesky instance count: n sqrt + n(n-1)/2 scalings +
+    /// Σ_j (n-j)(n-j+1)/2 updates.
+    #[test]
+    fn cholesky_instance_formula(n in 1i64..12) {
+        let p = kernels::cholesky_right();
+        let init = verify::spd_init("A", n as usize, 1);
+        let mut ws = Workspace::for_program(&p, &params(n), init);
+        let stats = execute(&p, &mut ws, &params(n), &mut NullObserver);
+        let mut expect = n as u64; // S1
+        expect += (n * (n - 1) / 2) as u64; // S2
+        for j in 1..=n {
+            let m = n - j;
+            expect += (m * (m + 1) / 2) as u64; // S3
+        }
+        prop_assert_eq!(stats.instances, expect);
+    }
+
+    /// Divided loop bounds evaluate exactly: a loop
+    /// `do t = ceild(1,w) .. floord(N, w)` runs floor(N/w) times.
+    #[test]
+    fn divided_bounds_trip_count(n in 1i64..40, w in 1i64..9) {
+        let a = ArrayRef::vars("A", &["t"]);
+        let s = Statement::new(
+            "S",
+            a.clone(),
+            ScalarExpr::from(a) + ScalarExpr::Const(1.0),
+        );
+        let p = shackle_ir::Program::new(
+            "trips",
+            vec!["N".into()],
+            vec![ArrayDecl::new("A", vec![LinExpr::var("N")])],
+            vec![s],
+            vec![loop_b(
+                "t",
+                Bound::new(vec![BoundTerm::div(LinExpr::constant(1), w)]),
+                Bound::new(vec![BoundTerm::div(LinExpr::var("N"), w)]),
+                vec![stmt(0)],
+            )],
+        );
+        let mut ws = Workspace::for_program(&p, &params(n), |_, _| 0.0);
+        let stats = execute(&p, &mut ws, &params(n), &mut NullObserver);
+        prop_assert_eq!(stats.instances as i64, n / w);
+    }
+
+    /// `max_rel_diff` is a pseudometric on workspaces: zero on equal
+    /// inputs, symmetric, positive on perturbation.
+    #[test]
+    fn workspace_diff_properties(n in 1i64..8, seed in 0u64..100, eps in 1e-6f64..1e-2) {
+        let p = kernels::matmul_ijk();
+        let init = verify::hash_init(seed);
+        let w1 = Workspace::for_program(&p, &params(n), &init);
+        let mut w2 = Workspace::for_program(&p, &params(n), &init);
+        prop_assert_eq!(w1.max_rel_diff(&w2), 0.0);
+        let a = w2.array_mut("A").unwrap();
+        let v = a.get(&[1, 1]);
+        a.set(&[1, 1], v + eps);
+        let d12 = w1.max_rel_diff(&w2);
+        let d21 = w2.max_rel_diff(&w1);
+        prop_assert!(d12 > 0.0);
+        prop_assert!((d12 - d21).abs() < 1e-15);
+    }
+
+    /// hash_init is pure and in range.
+    #[test]
+    fn hash_init_pure(seed in 0u64..1000, i in 1usize..50, j in 1usize..50) {
+        let f = verify::hash_init(seed);
+        let v = f("A", &[i, j]);
+        prop_assert!(v > 0.0 && v <= 1.0);
+        prop_assert_eq!(v, f("A", &[i, j]));
+    }
+}

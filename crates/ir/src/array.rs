@@ -1,0 +1,92 @@
+//! Array declarations.
+
+use shackle_polyhedra::LinExpr;
+use std::fmt;
+
+/// A dense rectangular array with 1-based indexing (FORTRAN style, like
+/// the paper's codes) whose extents are affine in the program parameters.
+///
+/// `A(N, N)` has `dims = [N, N]` and valid subscripts `1 ..= N` in each
+/// dimension.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_ir::ArrayDecl;
+/// use shackle_polyhedra::LinExpr;
+/// let a = ArrayDecl::new("A", vec![LinExpr::var("N"), LinExpr::var("N")]);
+/// assert_eq!(a.rank(), 2);
+/// assert_eq!(a.to_string(), "A(N, N)");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    name: String,
+    dims: Vec<LinExpr>,
+}
+
+impl ArrayDecl {
+    /// Declare an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty.
+    pub fn new(name: impl Into<String>, dims: Vec<LinExpr>) -> Self {
+        assert!(!dims.is_empty(), "arrays must have at least one dimension");
+        Self {
+            name: name.into(),
+            dims,
+        }
+    }
+
+    /// A square two-dimensional array `name(n, n)`.
+    pub fn square(name: impl Into<String>, n: impl Into<String>) -> Self {
+        let e = LinExpr::var(n.into());
+        Self::new(name, vec![e.clone(), e])
+    }
+
+    /// The array's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extents per dimension (affine in program parameters).
+    pub fn dims(&self) -> &[LinExpr] {
+        &self.dims
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_helper() {
+        let a = ArrayDecl::square("C", "N");
+        assert_eq!(a.rank(), 2);
+        assert_eq!(a.dims()[0], LinExpr::var("N"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_rank_rejected() {
+        let _ = ArrayDecl::new("A", vec![]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Array references and the scalar computation language.
+//!
+//! The right-hand sides of the paper's kernels need only `+ - * /` and
+//! `sqrt` over `f64`, with affine array subscripts; [`ScalarExpr`] is
+//! exactly that.
+
+use shackle_polyhedra::LinExpr;
+use std::fmt;
+
+/// A reference to an array element with affine subscripts, e.g.
+/// `A[I, J-1]`.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_ir::ArrayRef;
+/// use shackle_polyhedra::LinExpr;
+/// let r = ArrayRef::new("A", vec![LinExpr::var("I"), LinExpr::var("J")]);
+/// assert_eq!(r.to_string(), "A[I, J]");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayRef {
+    array: String,
+    indices: Vec<LinExpr>,
+}
+
+impl ArrayRef {
+    /// Construct a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn new(array: impl Into<String>, indices: Vec<LinExpr>) -> Self {
+        assert!(!indices.is_empty(), "array references need subscripts");
+        Self {
+            array: array.into(),
+            indices,
+        }
+    }
+
+    /// Shorthand: subscripts that are plain loop variables.
+    pub fn vars(array: impl Into<String>, names: &[&str]) -> Self {
+        Self::new(array, names.iter().map(|n| LinExpr::var(*n)).collect())
+    }
+
+    /// The referenced array's name.
+    pub fn array(&self) -> &str {
+        &self.array
+    }
+
+    /// The affine subscript expressions.
+    pub fn indices(&self) -> &[LinExpr] {
+        &self.indices
+    }
+
+    /// The *access matrix* of the paper's Theorem 2: one row per array
+    /// dimension, one column per entry of `loop_vars`, containing the
+    /// coefficient of that loop variable in that subscript. Constant
+    /// terms and parameters are dropped (the theorem concerns the linear
+    /// part only).
+    pub fn access_matrix(&self, loop_vars: &[&str]) -> Vec<Vec<i64>> {
+        self.indices
+            .iter()
+            .map(|ix| loop_vars.iter().map(|v| ix.coeff(v)).collect())
+            .collect()
+    }
+
+    /// Substitute an affine expression for a variable in every
+    /// subscript.
+    pub fn substitute(&self, var: &str, replacement: &LinExpr) -> ArrayRef {
+        ArrayRef {
+            array: self.array.clone(),
+            indices: self
+                .indices
+                .iter()
+                .map(|ix| ix.substitute(var, replacement))
+                .collect(),
+        }
+    }
+
+    /// Rename loop variables in the subscripts.
+    pub fn rename_vars(&self, f: &dyn Fn(&str) -> Option<String>) -> ArrayRef {
+        let indices = self
+            .indices
+            .iter()
+            .map(|ix| {
+                let mut out = ix.clone();
+                for v in ix.vars() {
+                    if let Some(n) = f(v) {
+                        out = out.rename(v, &n);
+                    }
+                }
+                out
+            })
+            .collect();
+        ArrayRef {
+            array: self.array.clone(),
+            indices,
+        }
+    }
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.array)?;
+        for (i, ix) in self.indices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ix}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A scalar `f64` expression: the computation language of statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScalarExpr {
+    /// Load from an array element.
+    Ref(ArrayRef),
+    /// A floating-point literal.
+    Const(f64),
+    /// Addition.
+    Add(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Subtraction.
+    Sub(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Multiplication.
+    Mul(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Division.
+    Div(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Square root.
+    Sqrt(Box<ScalarExpr>),
+    /// Negation.
+    Neg(Box<ScalarExpr>),
+    /// Sign: −1.0 for negative arguments, +1.0 otherwise.
+    Sign(Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Load from an array reference.
+    pub fn load(r: ArrayRef) -> Self {
+        ScalarExpr::Ref(r)
+    }
+
+    /// All array references read by this expression, left to right.
+    pub fn reads(&self) -> Vec<&ArrayRef> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads<'a>(&'a self, out: &mut Vec<&'a ArrayRef>) {
+        match self {
+            ScalarExpr::Ref(r) => out.push(r),
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::Add(a, b)
+            | ScalarExpr::Sub(a, b)
+            | ScalarExpr::Mul(a, b)
+            | ScalarExpr::Div(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            ScalarExpr::Sqrt(a) | ScalarExpr::Neg(a) | ScalarExpr::Sign(a) => a.collect_reads(out),
+        }
+    }
+
+    /// Substitute an affine expression for a variable in every contained
+    /// reference.
+    pub fn substitute(&self, var: &str, replacement: &LinExpr) -> ScalarExpr {
+        match self {
+            ScalarExpr::Ref(r) => ScalarExpr::Ref(r.substitute(var, replacement)),
+            ScalarExpr::Const(c) => ScalarExpr::Const(*c),
+            ScalarExpr::Add(a, b) => ScalarExpr::Add(
+                Box::new(a.substitute(var, replacement)),
+                Box::new(b.substitute(var, replacement)),
+            ),
+            ScalarExpr::Sub(a, b) => ScalarExpr::Sub(
+                Box::new(a.substitute(var, replacement)),
+                Box::new(b.substitute(var, replacement)),
+            ),
+            ScalarExpr::Mul(a, b) => ScalarExpr::Mul(
+                Box::new(a.substitute(var, replacement)),
+                Box::new(b.substitute(var, replacement)),
+            ),
+            ScalarExpr::Div(a, b) => ScalarExpr::Div(
+                Box::new(a.substitute(var, replacement)),
+                Box::new(b.substitute(var, replacement)),
+            ),
+            ScalarExpr::Sqrt(a) => ScalarExpr::Sqrt(Box::new(a.substitute(var, replacement))),
+            ScalarExpr::Neg(a) => ScalarExpr::Neg(Box::new(a.substitute(var, replacement))),
+            ScalarExpr::Sign(a) => ScalarExpr::Sign(Box::new(a.substitute(var, replacement))),
+        }
+    }
+
+    /// Rename loop variables in every contained reference.
+    pub fn rename_vars(&self, f: &dyn Fn(&str) -> Option<String>) -> ScalarExpr {
+        match self {
+            ScalarExpr::Ref(r) => ScalarExpr::Ref(r.rename_vars(f)),
+            ScalarExpr::Const(c) => ScalarExpr::Const(*c),
+            ScalarExpr::Add(a, b) => {
+                ScalarExpr::Add(Box::new(a.rename_vars(f)), Box::new(b.rename_vars(f)))
+            }
+            ScalarExpr::Sub(a, b) => {
+                ScalarExpr::Sub(Box::new(a.rename_vars(f)), Box::new(b.rename_vars(f)))
+            }
+            ScalarExpr::Mul(a, b) => {
+                ScalarExpr::Mul(Box::new(a.rename_vars(f)), Box::new(b.rename_vars(f)))
+            }
+            ScalarExpr::Div(a, b) => {
+                ScalarExpr::Div(Box::new(a.rename_vars(f)), Box::new(b.rename_vars(f)))
+            }
+            ScalarExpr::Sqrt(a) => ScalarExpr::Sqrt(Box::new(a.rename_vars(f))),
+            ScalarExpr::Neg(a) => ScalarExpr::Neg(Box::new(a.rename_vars(f))),
+            ScalarExpr::Sign(a) => ScalarExpr::Sign(Box::new(a.rename_vars(f))),
+        }
+    }
+}
+
+impl From<ArrayRef> for ScalarExpr {
+    fn from(r: ArrayRef) -> Self {
+        ScalarExpr::Ref(r)
+    }
+}
+
+impl From<f64> for ScalarExpr {
+    fn from(c: f64) -> Self {
+        ScalarExpr::Const(c)
+    }
+}
+
+impl std::ops::Add for ScalarExpr {
+    type Output = ScalarExpr;
+    fn add(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for ScalarExpr {
+    type Output = ScalarExpr;
+    fn sub(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for ScalarExpr {
+    type Output = ScalarExpr;
+    fn mul(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Div for ScalarExpr {
+    type Output = ScalarExpr;
+    fn div(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ScalarExpr {
+    /// `sqrt(self)`.
+    pub fn sqrt(self) -> ScalarExpr {
+        ScalarExpr::Sqrt(Box::new(self))
+    }
+
+    /// `sign(self)`: −1.0 if negative, +1.0 otherwise.
+    pub fn sign(self) -> ScalarExpr {
+        ScalarExpr::Sign(Box::new(self))
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Ref(r) => write!(f, "{r}"),
+            ScalarExpr::Const(c) => write!(f, "{c}"),
+            ScalarExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            ScalarExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            ScalarExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            ScalarExpr::Div(a, b) => write!(f, "({a} / {b})"),
+            ScalarExpr::Sqrt(a) => write!(f, "sqrt({a})"),
+            ScalarExpr::Neg(a) => write!(f, "(-{a})"),
+            ScalarExpr::Sign(a) => write!(f, "sign({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aref(name: &str, vars: &[&str]) -> ArrayRef {
+        ArrayRef::vars(name, vars)
+    }
+
+    #[test]
+    fn reads_collects_in_order() {
+        let e = ScalarExpr::from(aref("A", &["i", "k"])) * aref("B", &["k", "j"]).into()
+            + ScalarExpr::from(aref("C", &["i", "j"]));
+        let rs = e.reads();
+        let names: Vec<&str> = rs.iter().map(|r| r.array()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn access_matrix_matches_theorem2_examples() {
+        // C[I,J] over loops (I,J,K) — the paper's example in §6.2
+        let c = aref("C", &["I", "J"]);
+        assert_eq!(
+            c.access_matrix(&["I", "J", "K"]),
+            vec![vec![1, 0, 0], vec![0, 1, 0]]
+        );
+        // B[K,J]
+        let b = aref("B", &["K", "J"]);
+        assert_eq!(
+            b.access_matrix(&["I", "J", "K"]),
+            vec![vec![0, 0, 1], vec![0, 1, 0]]
+        );
+    }
+
+    #[test]
+    fn display_expression() {
+        let e = (ScalarExpr::from(aref("A", &["i"])) - ScalarExpr::Const(1.0)).sqrt();
+        assert_eq!(e.to_string(), "sqrt((A[i] - 1))");
+    }
+
+    #[test]
+    fn rename_vars_in_ref() {
+        let r = ArrayRef::new(
+            "X",
+            vec![LinExpr::var("i") - LinExpr::constant(1), LinExpr::var("k")],
+        );
+        let renamed = r.rename_vars(&|v| {
+            if v == "i" {
+                Some("t2".to_string())
+            } else {
+                None
+            }
+        });
+        assert_eq!(renamed.to_string(), "X[t2 - 1, k]");
+    }
+}

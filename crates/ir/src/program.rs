@@ -1,0 +1,573 @@
+//! Programs: imperfectly nested loop trees over statements.
+
+use crate::schedule::SchedElem;
+use crate::{ArrayDecl, Statement};
+use shackle_polyhedra::{Constraint, LinExpr, System};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies a statement within its [`Program`].
+pub type StmtId = usize;
+
+/// One alternative in a loop bound: `ceil(expr / div)` for lower bounds,
+/// `floor(expr / div)` for upper bounds. `div` is 1 for ordinary affine
+/// bounds; block-coordinate loops produced by shackling use larger
+/// divisors (e.g. `t1 = 1 .. ceil(N / 25)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundTerm {
+    /// The affine numerator.
+    pub expr: LinExpr,
+    /// The positive divisor.
+    pub div: i64,
+}
+
+impl BoundTerm {
+    /// A plain affine bound (`div == 1`).
+    pub fn affine(expr: LinExpr) -> Self {
+        Self { expr, div: 1 }
+    }
+
+    /// A divided bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `div >= 1`.
+    pub fn div(expr: LinExpr, div: i64) -> Self {
+        assert!(div >= 1, "bound divisor must be positive");
+        Self { expr, div }
+    }
+}
+
+/// A loop bound: the max (for lower bounds) or min (for upper bounds) of
+/// its terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bound {
+    /// The alternatives; must be non-empty.
+    pub terms: Vec<BoundTerm>,
+}
+
+impl Bound {
+    /// A single affine bound.
+    pub fn affine(expr: LinExpr) -> Self {
+        Self {
+            terms: vec![BoundTerm::affine(expr)],
+        }
+    }
+
+    /// A constant bound.
+    pub fn constant(c: i64) -> Self {
+        Self::affine(LinExpr::constant(c))
+    }
+
+    /// A bound from several terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn new(terms: Vec<BoundTerm>) -> Self {
+        assert!(!terms.is_empty(), "bounds need at least one term");
+        Self { terms }
+    }
+
+    /// Variables mentioned by any term.
+    pub fn vars(&self) -> BTreeSet<String> {
+        self.terms
+            .iter()
+            .flat_map(|t| t.expr.vars().map(str::to_string))
+            .collect()
+    }
+
+    /// Constraints stating `var >= self` (when `lower`) or `var <= self`
+    /// (otherwise), exact over the integers: `v >= ceil(e/d)` iff
+    /// `d·v >= e`.
+    pub fn constraints(&self, var: &str, lower: bool) -> Vec<Constraint> {
+        self.terms
+            .iter()
+            .map(|t| {
+                let v = LinExpr::term(var, t.div);
+                if lower {
+                    Constraint::ge(v, t.expr.clone())
+                } else {
+                    Constraint::le(v, t.expr.clone())
+                }
+            })
+            .collect()
+    }
+}
+
+/// A `do` loop with inclusive bounds and unit step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Loop {
+    /// The loop variable name.
+    pub var: String,
+    /// Lower bound (max of terms).
+    pub lower: Bound,
+    /// Upper bound (min of terms).
+    pub upper: Bound,
+    /// Loop body.
+    pub body: Vec<Node>,
+}
+
+/// A node of the loop tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// A loop.
+    Loop(Box<Loop>),
+    /// A guarded region: the body executes when every constraint holds.
+    If(Vec<Constraint>, Vec<Node>),
+    /// A statement occurrence.
+    Stmt(StmtId),
+}
+
+/// Build a loop node with simple affine bounds.
+pub fn loop_(var: impl Into<String>, lower: LinExpr, upper: LinExpr, body: Vec<Node>) -> Node {
+    Node::Loop(Box::new(Loop {
+        var: var.into(),
+        lower: Bound::affine(lower),
+        upper: Bound::affine(upper),
+        body,
+    }))
+}
+
+/// Build a loop node with general bounds.
+pub fn loop_b(var: impl Into<String>, lower: Bound, upper: Bound, body: Vec<Node>) -> Node {
+    Node::Loop(Box::new(Loop {
+        var: var.into(),
+        lower,
+        upper,
+        body,
+    }))
+}
+
+/// Build a statement occurrence node.
+pub fn stmt(id: StmtId) -> Node {
+    Node::Stmt(id)
+}
+
+/// Build a guard node.
+pub fn if_(constraints: Vec<Constraint>, body: Vec<Node>) -> Node {
+    Node::If(constraints, body)
+}
+
+/// The static context of a statement occurrence: its surrounding loops
+/// (outermost first), guards, and `2d+1` schedule vector.
+#[derive(Clone, Debug)]
+pub struct StmtContext {
+    /// Surrounding loop descriptions, outermost first.
+    pub loops: Vec<Loop>,
+    /// Guards from surrounding `If` nodes.
+    pub guards: Vec<Constraint>,
+    /// The `2d+1` schedule: alternating textual positions and loop
+    /// variables, ending with a textual position.
+    pub schedule: Vec<SchedElem>,
+}
+
+impl StmtContext {
+    /// The surrounding loop variables, outermost first.
+    pub fn iter_vars(&self) -> Vec<&str> {
+        self.loops.iter().map(|l| l.var.as_str()).collect()
+    }
+
+    /// The iteration domain as a constraint system over the loop
+    /// variables and program parameters.
+    pub fn domain(&self) -> System {
+        let mut sys = System::new();
+        for l in &self.loops {
+            sys.add_all(l.lower.constraints(&l.var, true));
+            sys.add_all(l.upper.constraints(&l.var, false));
+        }
+        sys.add_all(self.guards.iter().cloned());
+        sys
+    }
+}
+
+/// A complete program: parameters, arrays, statements and a loop tree.
+///
+/// Invariants enforced at construction: every `Stmt` node refers to a
+/// valid statement, every statement appears exactly once in the tree,
+/// subscript counts match array ranks, and every variable used in a
+/// subscript or bound is a surrounding loop variable or a parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    name: String,
+    params: Vec<String>,
+    arrays: Vec<ArrayDecl>,
+    stmts: Vec<Statement>,
+    body: Vec<Node>,
+}
+
+impl Program {
+    /// Construct and validate a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a descriptive message) if any structural invariant is
+    /// violated — programs are built by code, not parsed from input, so
+    /// violations are construction bugs.
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<String>,
+        arrays: Vec<ArrayDecl>,
+        stmts: Vec<Statement>,
+        body: Vec<Node>,
+    ) -> Self {
+        let p = Self {
+            name: name.into(),
+            params,
+            arrays,
+            stmts,
+            body,
+        };
+        p.validate();
+        p
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Symbolic parameters (e.g. `N`).
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Look up an array by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name() == name)
+    }
+
+    /// The statements (indexed by [`StmtId`]).
+    pub fn stmts(&self) -> &[Statement] {
+        &self.stmts
+    }
+
+    /// The loop tree.
+    pub fn body(&self) -> &[Node] {
+        &self.body
+    }
+
+    /// Replace the loop tree (used by code generation), revalidating.
+    pub fn with_body(&self, body: Vec<Node>) -> Program {
+        Program::new(
+            self.name.clone(),
+            self.params.clone(),
+            self.arrays.clone(),
+            self.stmts.clone(),
+            body,
+        )
+    }
+
+    /// Rename the program.
+    pub fn with_name(mut self, name: impl Into<String>) -> Program {
+        self.name = name.into();
+        self
+    }
+
+    /// The static context (loops, guards, schedule) of a statement's
+    /// unique occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statement does not occur in the tree.
+    pub fn context(&self, id: StmtId) -> StmtContext {
+        fn walk(
+            nodes: &[Node],
+            id: StmtId,
+            loops: &mut Vec<Loop>,
+            guards: &mut Vec<Constraint>,
+            sched: &mut Vec<SchedElem>,
+        ) -> Option<StmtContext> {
+            for (pos, n) in nodes.iter().enumerate() {
+                match n {
+                    Node::Stmt(s) if *s == id => {
+                        let mut schedule = sched.clone();
+                        schedule.push(SchedElem::Text(pos));
+                        return Some(StmtContext {
+                            loops: loops.clone(),
+                            guards: guards.clone(),
+                            schedule,
+                        });
+                    }
+                    Node::Stmt(_) => {}
+                    Node::Loop(l) => {
+                        loops.push((**l).clone());
+                        sched.push(SchedElem::Text(pos));
+                        sched.push(SchedElem::Var(l.var.clone()));
+                        if let Some(c) = walk(&l.body, id, loops, guards, sched) {
+                            return Some(c);
+                        }
+                        sched.pop();
+                        sched.pop();
+                        loops.pop();
+                    }
+                    Node::If(cs, body) => {
+                        // Guards are transparent to the schedule: the
+                        // textual position of children is the If's own
+                        // position plus a sub-position. We fold the If
+                        // into the schedule as a Text level to keep
+                        // positions unambiguous.
+                        guards.extend(cs.iter().cloned());
+                        sched.push(SchedElem::Text(pos));
+                        if let Some(c) = walk(body, id, loops, guards, sched) {
+                            return Some(c);
+                        }
+                        sched.pop();
+                        for _ in cs {
+                            guards.pop();
+                        }
+                    }
+                }
+            }
+            None
+        }
+        walk(
+            &self.body,
+            id,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        )
+        .unwrap_or_else(|| panic!("statement {id} does not occur in program {}", self.name))
+    }
+
+    /// Statement ids in textual (program) order.
+    pub fn stmt_order(&self) -> Vec<StmtId> {
+        fn walk(nodes: &[Node], out: &mut Vec<StmtId>) {
+            for n in nodes {
+                match n {
+                    Node::Stmt(s) => out.push(*s),
+                    Node::Loop(l) => walk(&l.body, out),
+                    Node::If(_, b) => walk(b, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+
+    fn validate(&self) {
+        // every statement occurs exactly once
+        let order = self.stmt_order();
+        for id in 0..self.stmts.len() {
+            let count = order.iter().filter(|&&s| s == id).count();
+            assert_eq!(
+                count,
+                1,
+                "statement {id} ({}) must occur exactly once, found {count}",
+                self.stmts.get(id).map(|s| s.label()).unwrap_or("?")
+            );
+        }
+        for &id in &order {
+            assert!(
+                id < self.stmts.len(),
+                "node references unknown statement {id}"
+            );
+        }
+        // scoping and arity
+        for id in 0..self.stmts.len() {
+            let ctx = self.context(id);
+            let mut in_scope: BTreeSet<&str> = self.params.iter().map(String::as_str).collect();
+            for (li, l) in ctx.loops.iter().enumerate() {
+                for b in [&l.lower, &l.upper] {
+                    for v in b.vars() {
+                        assert!(
+                            in_scope.contains(v.as_str()),
+                            "bound of loop {} in {} uses out-of-scope variable {v}",
+                            l.var,
+                            self.stmts[id].label()
+                        );
+                    }
+                }
+                let _ = li;
+                in_scope.insert(l.var.as_str());
+            }
+            for (r, _) in self.stmts[id].refs() {
+                let decl = self
+                    .array(r.array())
+                    .unwrap_or_else(|| panic!("undeclared array {}", r.array()));
+                assert_eq!(
+                    r.indices().len(),
+                    decl.rank(),
+                    "reference {r} does not match rank of {decl}"
+                );
+                for ix in r.indices() {
+                    for v in ix.vars() {
+                        assert!(
+                            in_scope.contains(v),
+                            "subscript of {r} uses out-of-scope variable {v}"
+                        );
+                    }
+                }
+            }
+            for g in &ctx.guards {
+                for v in g.expr().vars() {
+                    assert!(
+                        in_scope.contains(v),
+                        "guard {g} uses out-of-scope variable {v} in {}",
+                        self.stmts[id].label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::print_program(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayRef, ScalarExpr};
+
+    fn n() -> LinExpr {
+        LinExpr::var("N")
+    }
+
+    fn one() -> LinExpr {
+        LinExpr::constant(1)
+    }
+
+    /// The paper's Figure 1(i): matrix multiplication, I-J-K order.
+    fn matmul() -> Program {
+        let c = ArrayRef::vars("C", &["I", "J"]);
+        let a = ArrayRef::vars("A", &["I", "K"]);
+        let b = ArrayRef::vars("B", &["K", "J"]);
+        let s = Statement::new(
+            "S1",
+            c.clone(),
+            ScalarExpr::from(c) + ScalarExpr::from(a) * b.into(),
+        );
+        Program::new(
+            "matmul",
+            vec!["N".into()],
+            vec![
+                ArrayDecl::square("C", "N"),
+                ArrayDecl::square("A", "N"),
+                ArrayDecl::square("B", "N"),
+            ],
+            vec![s],
+            vec![loop_(
+                "I",
+                one(),
+                n(),
+                vec![loop_(
+                    "J",
+                    one(),
+                    n(),
+                    vec![loop_("K", one(), n(), vec![stmt(0)])],
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn context_of_matmul() {
+        let p = matmul();
+        let ctx = p.context(0);
+        assert_eq!(ctx.iter_vars(), vec!["I", "J", "K"]);
+        assert_eq!(ctx.schedule.len(), 7); // T V T V T V T
+        let dom = ctx.domain();
+        assert!(dom.eval(&|v| match v {
+            "N" => 4,
+            _ => 2,
+        }));
+        assert!(!dom.eval(&|v| match v {
+            "N" => 4,
+            "K" => 5,
+            _ => 2,
+        }));
+    }
+
+    #[test]
+    fn stmt_order_walks_tree() {
+        let p = matmul();
+        assert_eq!(p.stmt_order(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly once")]
+    fn duplicate_statement_rejected() {
+        let c = ArrayRef::vars("C", &["I"]);
+        let s = Statement::new("S", c.clone(), ScalarExpr::from(c));
+        let _ = Program::new(
+            "bad",
+            vec!["N".into()],
+            vec![ArrayDecl::new("C", vec![n()])],
+            vec![s],
+            vec![loop_("I", one(), n(), vec![stmt(0), stmt(0)])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-scope")]
+    fn out_of_scope_subscript_rejected() {
+        let c = ArrayRef::vars("C", &["Q"]);
+        let s = Statement::new("S", c.clone(), ScalarExpr::from(c));
+        let _ = Program::new(
+            "bad",
+            vec!["N".into()],
+            vec![ArrayDecl::new("C", vec![n()])],
+            vec![s],
+            vec![loop_("I", one(), n(), vec![stmt(0)])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn rank_mismatch_rejected() {
+        let c = ArrayRef::vars("C", &["I", "I"]);
+        let s = Statement::new("S", c.clone(), ScalarExpr::from(c));
+        let _ = Program::new(
+            "bad",
+            vec!["N".into()],
+            vec![ArrayDecl::new("C", vec![n()])],
+            vec![s],
+            vec![loop_("I", one(), n(), vec![stmt(0)])],
+        );
+    }
+
+    #[test]
+    fn bound_constraints_are_exact_for_divided_bounds() {
+        // t >= ceil(N/25) is 25 t >= N
+        let b = Bound::new(vec![BoundTerm::div(LinExpr::var("N"), 25)]);
+        let cs = b.constraints("t", true);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].eval(&|v| if v == "t" { 4 } else { 100 }));
+        assert!(!cs[0].eval(&|v| if v == "t" { 3 } else { 100 }));
+    }
+
+    #[test]
+    fn guards_enter_domain() {
+        let c = ArrayRef::vars("C", &["I"]);
+        let s = Statement::new("S", c.clone(), ScalarExpr::from(c));
+        let p = Program::new(
+            "guarded",
+            vec!["N".into()],
+            vec![ArrayDecl::new("C", vec![n()])],
+            vec![s],
+            vec![loop_(
+                "I",
+                one(),
+                n(),
+                vec![if_(
+                    vec![Constraint::ge(LinExpr::var("I"), LinExpr::constant(5))],
+                    vec![stmt(0)],
+                )],
+            )],
+        );
+        let dom = p.context(0).domain();
+        assert!(!dom.eval(&|v| if v == "N" { 10 } else { 4 }));
+        assert!(dom.eval(&|v| if v == "N" { 10 } else { 5 }));
+    }
+}

@@ -1,0 +1,204 @@
+//! `2d+1` schedules and program-order disjunctions.
+//!
+//! Imperfectly nested loops are compared by their *schedule vectors*:
+//! alternating textual positions (constants) and loop variables. Two
+//! statement instances are ordered by the lexicographic comparison of
+//! their schedule vectors, which over affine constraints is a
+//! disjunction with one conjunct per "first position that differs".
+
+use shackle_polyhedra::{Constraint, LinExpr, System};
+use std::fmt;
+
+/// One element of a `2d+1` schedule vector.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SchedElem {
+    /// A textual position: the index of a node within its parent's body.
+    Text(usize),
+    /// A loop variable (dynamic component).
+    Var(String),
+}
+
+impl fmt::Display for SchedElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedElem::Text(k) => write!(f, "{k}"),
+            SchedElem::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Build the disjunction expressing *instance `a` of the statement with
+/// schedule `sa` executes before instance `b` of the statement with
+/// schedule `sb` in original program order*.
+///
+/// `rename_a` / `rename_b` map each statement's loop variables into the
+/// combined constraint space (e.g. `I ↦ s$I` for the source instance and
+/// `I ↦ t$I` for the target); parameters should be mapped to themselves
+/// by returning `None` (the identity).
+///
+/// The two schedules must come from the same program tree, so whenever
+/// their textual prefixes agree the loop variables at matching positions
+/// denote the same loop.
+///
+/// # Examples
+///
+/// Within a single loop, `S1` at iteration `i` precedes `S2` at
+/// iteration `i'` iff `i < i'` or (`i = i'` and `S1` is textually
+/// first):
+///
+/// ```
+/// use shackle_ir::schedule::{before_disjuncts, SchedElem};
+/// let s1 = [SchedElem::Text(0), SchedElem::Var("I".into()), SchedElem::Text(0)];
+/// let s2 = [SchedElem::Text(0), SchedElem::Var("I".into()), SchedElem::Text(1)];
+/// let d = before_disjuncts(&s1, &s2, &|v| Some(format!("s${v}")), &|v| {
+///     Some(format!("t${v}"))
+/// });
+/// assert_eq!(d.len(), 2); // i < i'  or  i = i' (textual)
+/// ```
+pub fn before_disjuncts(
+    sa: &[SchedElem],
+    sb: &[SchedElem],
+    rename_a: &dyn Fn(&str) -> Option<String>,
+    rename_b: &dyn Fn(&str) -> Option<String>,
+) -> Vec<System> {
+    let mut disjuncts = Vec::new();
+    let mut eqs: Vec<Constraint> = Vec::new();
+    let ra = |v: &str| rename_a(v).unwrap_or_else(|| v.to_string());
+    let rb = |v: &str| rename_b(v).unwrap_or_else(|| v.to_string());
+    for k in 0..sa.len().min(sb.len()) {
+        match (&sa[k], &sb[k]) {
+            (SchedElem::Text(x), SchedElem::Text(y)) => {
+                if x < y {
+                    // statically before at this level
+                    disjuncts.push(System::from_constraints(eqs.clone()));
+                    return disjuncts;
+                } else if x > y {
+                    // statically after; no more disjuncts possible
+                    return disjuncts;
+                }
+                // equal: continue
+            }
+            (SchedElem::Var(u), SchedElem::Var(v)) => {
+                let au = LinExpr::var(ra(u));
+                let bv = LinExpr::var(rb(v));
+                let mut d = System::from_constraints(eqs.clone());
+                d.add(Constraint::lt(au.clone(), bv.clone()));
+                disjuncts.push(d);
+                eqs.push(Constraint::eq(au, bv));
+            }
+            _ => panic!(
+                "schedules diverge structurally at position {k}; \
+                 both must come from the same program tree"
+            ),
+        }
+    }
+    // Exhausted with all components equal: the instances coincide (same
+    // statement, same iteration), which is not a strict "before".
+    disjuncts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(k: usize) -> SchedElem {
+        SchedElem::Text(k)
+    }
+
+    fn v(n: &str) -> SchedElem {
+        SchedElem::Var(n.into())
+    }
+
+    fn s_prefix(var: &str) -> Option<String> {
+        Some(format!("s${var}"))
+    }
+
+    fn t_prefix(var: &str) -> Option<String> {
+        Some(format!("t${var}"))
+    }
+
+    fn holds(disjuncts: &[System], env: &dyn Fn(&str) -> i64) -> bool {
+        disjuncts.iter().any(|s| s.eval(env))
+    }
+
+    #[test]
+    fn self_dependence_within_one_loop() {
+        // S inside loop I: instance s before instance t iff s$I < t$I.
+        let sched = [t(0), v("I"), t(0)];
+        let d = before_disjuncts(&sched, &sched, &s_prefix, &t_prefix);
+        assert_eq!(d.len(), 1);
+        assert!(holds(&d, &|name| if name == "s$I" { 1 } else { 2 }));
+        assert!(!holds(&d, &|_| 2));
+        assert!(!holds(&d, &|name| if name == "s$I" { 3 } else { 2 }));
+    }
+
+    #[test]
+    fn textual_order_breaks_ties() {
+        // right-looking Cholesky: S1 at position 0, S2's loop at 1,
+        // inside the same J loop.
+        let s1 = [t(0), v("J"), t(0)];
+        let s2 = [t(0), v("J"), t(1), v("I"), t(0)];
+        let d = before_disjuncts(&s1, &s2, &s_prefix, &t_prefix);
+        // s$J < t$J, or s$J = t$J (then S1 textually first)
+        assert_eq!(d.len(), 2);
+        let env_eq = |name: &str| match name {
+            "s$J" | "t$J" => 3,
+            _ => 0,
+        };
+        assert!(holds(&d, &env_eq));
+        // reversed direction: S2 before S1 requires strictly smaller J
+        let dr = before_disjuncts(&s2, &s1, &s_prefix, &t_prefix);
+        assert_eq!(dr.len(), 1);
+        let env_eq2 = |name: &str| match name {
+            "s$J" | "t$J" => 3,
+            "s$I" => 4,
+            _ => 0,
+        };
+        assert!(!holds(&dr, &env_eq2));
+        let env_lt = |name: &str| match name {
+            "s$J" => 2,
+            "t$J" => 3,
+            "s$I" => 9,
+            _ => 0,
+        };
+        assert!(holds(&dr, &env_lt));
+    }
+
+    #[test]
+    fn disjoint_subtrees_are_static() {
+        // two statements under different top-level loops
+        let s1 = [t(0), v("I"), t(0)];
+        let s2 = [t(1), v("J"), t(0)];
+        let d12 = before_disjuncts(&s1, &s2, &s_prefix, &t_prefix);
+        assert_eq!(d12.len(), 1);
+        assert!(d12[0].is_empty()); // unconditionally before
+        let d21 = before_disjuncts(&s2, &s1, &s_prefix, &t_prefix);
+        assert!(d21.is_empty()); // never before
+    }
+
+    #[test]
+    fn exhaustive_three_level_check() {
+        // Two statements sharing two loops: S1 = body[0] of inner,
+        // S2 = body[1] of inner.
+        let s1 = [t(0), v("I"), t(0), v("J"), t(0)];
+        let s2 = [t(0), v("I"), t(0), v("J"), t(1)];
+        let d = before_disjuncts(&s1, &s2, &s_prefix, &t_prefix);
+        for si in 0..3 {
+            for sj in 0..3 {
+                for ti in 0..3 {
+                    for tj in 0..3 {
+                        let env = move |name: &str| match name {
+                            "s$I" => si,
+                            "s$J" => sj,
+                            "t$I" => ti,
+                            _ => tj,
+                        };
+                        // S1 before S2 iff (si,sj,0) <= (ti,tj,1) lexic.
+                        let expect = (si, sj, 0) < (ti, tj, 1);
+                        assert_eq!(holds(&d, &env), expect);
+                    }
+                }
+            }
+        }
+    }
+}

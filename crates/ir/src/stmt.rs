@@ -1,0 +1,117 @@
+//! Assignment statements.
+
+use crate::{ArrayRef, ScalarExpr};
+use std::fmt;
+
+/// An assignment statement `write := rhs`, the unit of scheduling in the
+/// paper ("statement instance" = one execution of a [`Statement`] for
+/// fixed surrounding loop indices).
+///
+/// # Examples
+///
+/// ```
+/// use shackle_ir::{ArrayRef, ScalarExpr, Statement};
+/// let c = ArrayRef::vars("C", &["I", "J"]);
+/// let rhs = ScalarExpr::from(c.clone())
+///     + ScalarExpr::from(ArrayRef::vars("A", &["I", "K"]))
+///         * ArrayRef::vars("B", &["K", "J"]).into();
+/// let s = Statement::new("S1", c, rhs);
+/// assert_eq!(s.reads().len(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statement {
+    label: String,
+    write: ArrayRef,
+    rhs: ScalarExpr,
+}
+
+impl Statement {
+    /// Create a statement with a display label (e.g. `"S1"`).
+    pub fn new(label: impl Into<String>, write: ArrayRef, rhs: ScalarExpr) -> Self {
+        Self {
+            label: label.into(),
+            write,
+            rhs,
+        }
+    }
+
+    /// The statement's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The written reference (left-hand side).
+    pub fn write(&self) -> &ArrayRef {
+        &self.write
+    }
+
+    /// The right-hand side expression.
+    pub fn rhs(&self) -> &ScalarExpr {
+        &self.rhs
+    }
+
+    /// All references read (the RHS loads, left to right).
+    pub fn reads(&self) -> Vec<&ArrayRef> {
+        self.rhs.reads()
+    }
+
+    /// All references with a write flag: the LHS first, then the reads.
+    pub fn refs(&self) -> Vec<(&ArrayRef, bool)> {
+        let mut out = vec![(&self.write, true)];
+        out.extend(self.reads().into_iter().map(|r| (r, false)));
+        out
+    }
+
+    /// References to a particular array (for choosing shackled refs).
+    pub fn refs_to(&self, array: &str) -> Vec<&ArrayRef> {
+        self.refs()
+            .into_iter()
+            .map(|(r, _)| r)
+            .filter(|r| r.array() == array)
+            .collect()
+    }
+
+    /// Substitute an affine expression for a variable throughout.
+    pub fn substitute(&self, var: &str, replacement: &shackle_polyhedra::LinExpr) -> Statement {
+        Statement {
+            label: self.label.clone(),
+            write: self.write.substitute(var, replacement),
+            rhs: self.rhs.substitute(var, replacement),
+        }
+    }
+
+    /// Rename loop variables throughout the statement.
+    pub fn rename_vars(&self, f: &dyn Fn(&str) -> Option<String>) -> Statement {
+        Statement {
+            label: self.label.clone(),
+            write: self.write.rename_vars(f),
+            rhs: self.rhs.rename_vars(f),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} = {}", self.label, self.write, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refs_and_display() {
+        let w = ArrayRef::vars("A", &["I", "J"]);
+        let s = Statement::new(
+            "S2",
+            w.clone(),
+            ScalarExpr::from(w.clone()) / ScalarExpr::from(ArrayRef::vars("A", &["J", "J"])),
+        );
+        assert_eq!(s.refs().len(), 3);
+        assert!(s.refs()[0].1);
+        assert_eq!(s.refs_to("A").len(), 3);
+        assert_eq!(s.refs_to("B").len(), 0);
+        assert_eq!(s.to_string(), "S2: A[I, J] = (A[I, J] / A[J, J])");
+    }
+}

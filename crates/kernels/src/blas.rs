@@ -1,0 +1,532 @@
+//! A small dense BLAS-3 substrate: the workspace's stand-in for the
+//! machine-tuned ESSL routines the paper's baselines call.
+//!
+//! Everything operates on rectangular [`Block`] views of column-major
+//! [`Mat`]s. The `dgemm` kernels use the cache-friendly `j-k-i` (AXPY)
+//! loop order with unrolled columns — contiguous, vectorizable inner
+//! loops — which is what "replace the inner matrix-multiply loops with
+//! DGEMM" buys the paper's compiler-generated code.
+
+use crate::Mat;
+
+/// A rectangular view: `m × n` elements starting at `(r0, c0)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// First row.
+    pub r0: usize,
+    /// First column.
+    pub c0: usize,
+    /// Rows.
+    pub m: usize,
+    /// Columns.
+    pub n: usize,
+}
+
+impl Block {
+    /// The whole of an `m × n` matrix.
+    pub fn full(mat: &Mat) -> Self {
+        Self {
+            r0: 0,
+            c0: 0,
+            m: mat.rows(),
+            n: mat.cols(),
+        }
+    }
+
+    /// A view with the given geometry.
+    pub fn new(r0: usize, c0: usize, m: usize, n: usize) -> Self {
+        Self { r0, c0, m, n }
+    }
+}
+
+fn check(mat: &Mat, b: Block) {
+    assert!(
+        b.r0 + b.m <= mat.rows() && b.c0 + b.n <= mat.cols(),
+        "block {b:?} out of range for {}x{} matrix",
+        mat.rows(),
+        mat.cols()
+    );
+}
+
+/// `C[cb] += A[ab] · B[bb]`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or out-of-range blocks.
+pub fn dgemm_nn(c: &mut Mat, cb: Block, a: &Mat, ab: Block, b: &Mat, bb: Block) {
+    check(c, cb);
+    check(a, ab);
+    check(b, bb);
+    assert_eq!(ab.m, cb.m, "dgemm_nn: row mismatch");
+    assert_eq!(bb.n, cb.n, "dgemm_nn: column mismatch");
+    assert_eq!(ab.n, bb.m, "dgemm_nn: inner dimension mismatch");
+    let (m, n, k) = (cb.m, cb.n, ab.n);
+    let lda = a.rows();
+    let ldc = c.rows();
+    let adata = a.data();
+    let bdat = b.data();
+    let cdata = c.data_mut();
+    for j in 0..n {
+        let ccol = (cb.c0 + j) * ldc + cb.r0;
+        for p in 0..k {
+            let s = bdat[(bb.c0 + j) * b.rows() + bb.r0 + p];
+            if s == 0.0 {
+                continue;
+            }
+            let acol = (ab.c0 + p) * lda + ab.r0;
+            let (avec, cvec) = (&adata[acol..acol + m], &mut cdata[ccol..ccol + m]);
+            for i in 0..m {
+                cvec[i] += s * avec[i];
+            }
+        }
+    }
+}
+
+/// `C[cb] −= A[ab] · B[bb]ᵀ` (the Cholesky/LU trailing update shape).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or out-of-range blocks.
+pub fn dgemm_nt_sub(c: &mut Mat, cb: Block, a: &Mat, ab: Block, b: &Mat, bb: Block) {
+    check(c, cb);
+    check(a, ab);
+    check(b, bb);
+    assert_eq!(ab.m, cb.m, "dgemm_nt_sub: row mismatch");
+    assert_eq!(
+        bb.m, cb.n,
+        "dgemm_nt_sub: column mismatch (B is transposed)"
+    );
+    assert_eq!(ab.n, bb.n, "dgemm_nt_sub: inner dimension mismatch");
+    let (m, n, k) = (cb.m, cb.n, ab.n);
+    let lda = a.rows();
+    let ldb = b.rows();
+    let ldc = c.rows();
+    let adata = a.data();
+    let bdat = b.data();
+    let cdata = c.data_mut();
+    for j in 0..n {
+        let ccol = (cb.c0 + j) * ldc + cb.r0;
+        for p in 0..k {
+            // Bᵀ[p, j] = B[j, p]
+            let s = bdat[(bb.c0 + p) * ldb + bb.r0 + j];
+            if s == 0.0 {
+                continue;
+            }
+            let acol = (ab.c0 + p) * lda + ab.r0;
+            let (avec, cvec) = (&adata[acol..acol + m], &mut cdata[ccol..ccol + m]);
+            for i in 0..m {
+                cvec[i] -= s * avec[i];
+            }
+        }
+    }
+}
+
+/// `C[cb] (lower triangle) −= A[ab] · A[ab]ᵀ` — `dsyrk`, the symmetric
+/// trailing update of blocked Cholesky. Only the lower triangle of the
+/// square view `cb` is written.
+///
+/// # Panics
+///
+/// Panics if `cb` is not square or dimensions mismatch.
+pub fn dsyrk_ln_sub(c: &mut Mat, cb: Block, a: &Mat, ab: Block) {
+    check(c, cb);
+    check(a, ab);
+    assert_eq!(cb.m, cb.n, "dsyrk: C block must be square");
+    assert_eq!(ab.m, cb.m, "dsyrk: row mismatch");
+    let (n, k) = (cb.m, ab.n);
+    let lda = a.rows();
+    let ldc = c.rows();
+    let adata = a.data();
+    let cdata = c.data_mut();
+    for j in 0..n {
+        let ccol = (cb.c0 + j) * ldc + cb.r0;
+        for p in 0..k {
+            let s = adata[(ab.c0 + p) * lda + ab.r0 + j];
+            if s == 0.0 {
+                continue;
+            }
+            let acol = (ab.c0 + p) * lda + ab.r0;
+            for i in j..n {
+                cdata[ccol + i] -= s * adata[acol + i];
+            }
+        }
+    }
+}
+
+/// `X[xb] := X[xb] · L[lb]⁻ᵀ` where `L[lb]` is lower triangular —
+/// `dtrsm(right, lower, transpose)`, the panel solve of blocked
+/// Cholesky (`A21 := A21 · L11⁻ᵀ`).
+///
+/// # Panics
+///
+/// Panics if `lb` is not square or has zero diagonal entries
+/// (`debug_assert`), or dimensions mismatch.
+pub fn dtrsm_rlt(x: &mut Mat, xb: Block, l: &Mat, lb: Block) {
+    check(x, xb);
+    check(l, lb);
+    assert_eq!(lb.m, lb.n, "dtrsm: L must be square");
+    assert_eq!(xb.n, lb.m, "dtrsm: dimension mismatch");
+    let (m, n) = (xb.m, xb.n);
+    // Solve column by column: X[:,j] = (X[:,j] - Σ_{p<j} X[:,p]·L[j,p]) / L[j,j]
+    for j in 0..n {
+        for p in 0..j {
+            let s = l.at(lb.r0 + j, lb.c0 + p);
+            if s == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let v = x.at(xb.r0 + i, xb.c0 + j) - s * x.at(xb.r0 + i, xb.c0 + p);
+                x.set(xb.r0 + i, xb.c0 + j, v);
+            }
+        }
+        let d = l.at(lb.r0 + j, lb.c0 + j);
+        debug_assert!(d != 0.0, "singular triangular factor");
+        for i in 0..m {
+            let v = x.at(xb.r0 + i, xb.c0 + j) / d;
+            x.set(xb.r0 + i, xb.c0 + j, v);
+        }
+    }
+}
+
+/// Unblocked Cholesky factorization of the square view `ab` (lower
+/// triangle in place) — `dpotf2`, the paper's "baby Cholesky".
+///
+/// # Panics
+///
+/// Panics if the view is not square or a pivot is non-positive.
+pub fn dpotf2(a: &mut Mat, ab: Block) {
+    check(a, ab);
+    assert_eq!(ab.m, ab.n, "dpotf2: block must be square");
+    let n = ab.m;
+    for j in 0..n {
+        let mut d = a.at(ab.r0 + j, ab.c0 + j);
+        for p in 0..j {
+            let v = a.at(ab.r0 + j, ab.c0 + p);
+            d -= v * v;
+        }
+        assert!(d > 0.0, "matrix not positive definite at pivot {j}");
+        let d = d.sqrt();
+        a.set(ab.r0 + j, ab.c0 + j, d);
+        for i in (j + 1)..n {
+            let mut v = a.at(ab.r0 + i, ab.c0 + j);
+            for p in 0..j {
+                v -= a.at(ab.r0 + i, ab.c0 + p) * a.at(ab.r0 + j, ab.c0 + p);
+            }
+            a.set(ab.r0 + i, ab.c0 + j, v / d);
+        }
+    }
+}
+
+/// `data[dst..dst+m] -= s * data[src..src+m]` for provably disjoint
+/// ranges, via `split_at_mut` so the compiler sees two independent
+/// slices and vectorizes the AXPY.
+#[inline(always)]
+fn axpy_sub_in(data: &mut [f64], dst: usize, src: usize, m: usize, s: f64) {
+    debug_assert!(dst + m <= src || src + m <= dst, "ranges must be disjoint");
+    if dst > src {
+        let (lo, hi) = data.split_at_mut(dst);
+        let x = &lo[src..src + m];
+        let y = &mut hi[..m];
+        for i in 0..m {
+            y[i] -= s * x[i];
+        }
+    } else {
+        let (lo, hi) = data.split_at_mut(src);
+        let y = &mut lo[dst..dst + m];
+        let x = &hi[..m];
+        for i in 0..m {
+            y[i] -= s * x[i];
+        }
+    }
+}
+
+/// Crate-internal re-export of [`axpy_sub_in`] for sibling modules.
+#[inline(always)]
+pub(crate) fn axpy_sub_in_pub(data: &mut [f64], dst: usize, src: usize, m: usize, s: f64) {
+    axpy_sub_in(data, dst, src, m, s);
+}
+
+fn disjoint(a: Block, b: Block) -> bool {
+    a.r0 + a.m <= b.r0 || b.r0 + b.m <= a.r0 || a.c0 + a.n <= b.c0 || b.c0 + b.n <= a.c0
+}
+
+/// `A[cb] −= A[ab] · A[bb]ᵀ` with all three blocks inside one matrix —
+/// the in-place form factorizations need (no temporary copies).
+///
+/// # Panics
+///
+/// Panics if `cb` overlaps `ab` or `bb`, or on dimension mismatch.
+pub fn dgemm_nt_sub_in(a: &mut Mat, cb: Block, ab: Block, bb: Block) {
+    check(a, cb);
+    check(a, ab);
+    check(a, bb);
+    assert!(
+        disjoint(cb, ab) && disjoint(cb, bb),
+        "in-place dgemm requires the destination to be disjoint from the sources"
+    );
+    assert_eq!(ab.m, cb.m, "dgemm_nt_sub_in: row mismatch");
+    assert_eq!(
+        bb.m, cb.n,
+        "dgemm_nt_sub_in: column mismatch (B transposed)"
+    );
+    assert_eq!(ab.n, bb.n, "dgemm_nt_sub_in: inner dimension mismatch");
+    let ld = a.rows();
+    let (m, n, k) = (cb.m, cb.n, ab.n);
+    let data = a.data_mut();
+    for j in 0..n {
+        let ccol = (cb.c0 + j) * ld + cb.r0;
+        for p in 0..k {
+            let s = data[(bb.c0 + p) * ld + bb.r0 + j];
+            if s == 0.0 {
+                continue;
+            }
+            let acol = (ab.c0 + p) * ld + ab.r0;
+            axpy_sub_in(data, ccol, acol, m, s);
+        }
+    }
+}
+
+/// `A[cb] (lower) −= A[ab] · A[ab]ᵀ` in place.
+///
+/// # Panics
+///
+/// Panics if `cb` overlaps `ab`, `cb` is not square, or on dimension
+/// mismatch.
+pub fn dsyrk_ln_sub_in(a: &mut Mat, cb: Block, ab: Block) {
+    check(a, cb);
+    check(a, ab);
+    assert!(disjoint(cb, ab), "in-place dsyrk requires disjoint blocks");
+    assert_eq!(cb.m, cb.n, "dsyrk: C block must be square");
+    assert_eq!(ab.m, cb.m, "dsyrk: row mismatch");
+    let ld = a.rows();
+    let (n, k) = (cb.m, ab.n);
+    let data = a.data_mut();
+    for j in 0..n {
+        let ccol = (cb.c0 + j) * ld + cb.r0;
+        for p in 0..k {
+            let s = data[(ab.c0 + p) * ld + ab.r0 + j];
+            if s == 0.0 {
+                continue;
+            }
+            let acol = (ab.c0 + p) * ld + ab.r0;
+            axpy_sub_in(data, ccol + j, acol + j, n - j, s);
+        }
+    }
+}
+
+/// `A[xb] := A[xb] · L⁻ᵀ` where `L = A[lb]` (lower triangular), in
+/// place.
+///
+/// # Panics
+///
+/// Panics if the blocks overlap or dimensions mismatch.
+pub fn dtrsm_rlt_in(a: &mut Mat, xb: Block, lb: Block) {
+    check(a, xb);
+    check(a, lb);
+    assert!(disjoint(xb, lb), "in-place dtrsm requires disjoint blocks");
+    assert_eq!(lb.m, lb.n, "dtrsm: L must be square");
+    assert_eq!(xb.n, lb.m, "dtrsm: dimension mismatch");
+    let ld = a.rows();
+    let (m, n) = (xb.m, xb.n);
+    let data = a.data_mut();
+    for j in 0..n {
+        for p in 0..j {
+            let s = data[(lb.c0 + p) * ld + lb.r0 + j];
+            if s == 0.0 {
+                continue;
+            }
+            let xcol = (xb.c0 + j) * ld + xb.r0;
+            let pcol = (xb.c0 + p) * ld + xb.r0;
+            axpy_sub_in(data, xcol, pcol, m, s);
+        }
+        let d = data[(lb.c0 + j) * ld + lb.r0 + j];
+        debug_assert!(d != 0.0, "singular triangular factor");
+        let xcol = (xb.c0 + j) * ld + xb.r0;
+        for x in &mut data[xcol..xcol + m] {
+            *x /= d;
+        }
+    }
+}
+
+/// `A[xb] := L⁻¹ · A[xb]` where `L = A[lb]` is **unit** lower
+/// triangular — `dtrsm(left, lower, no-transpose, unit)`, the `U12`
+/// panel solve of blocked LU.
+///
+/// # Panics
+///
+/// Panics if the blocks overlap or dimensions mismatch.
+pub fn dtrsm_llnu_in(a: &mut Mat, xb: Block, lb: Block) {
+    check(a, xb);
+    check(a, lb);
+    assert!(disjoint(xb, lb), "in-place dtrsm requires disjoint blocks");
+    assert_eq!(lb.m, lb.n, "dtrsm: L must be square");
+    assert_eq!(xb.m, lb.m, "dtrsm: dimension mismatch");
+    let ld = a.rows();
+    let (m, n) = (xb.m, xb.n);
+    let data = a.data_mut();
+    for j in 0..n {
+        let xcol = (xb.c0 + j) * ld + xb.r0;
+        // forward substitution down the column (unit diagonal)
+        for i in 0..m {
+            let v = data[xcol + i];
+            if v == 0.0 {
+                continue;
+            }
+            for r in (i + 1)..m {
+                data[xcol + r] -= data[(lb.c0 + i) * ld + lb.r0 + r] * v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_mat, random_spd};
+
+    fn naive_mm(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.at(i, k) * b.at(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn dgemm_nn_matches_naive() {
+        let a = random_mat(7, 5, 1);
+        let b = random_mat(5, 9, 2);
+        let mut c = Mat::zeros(7, 9);
+        let cb = Block::full(&c);
+        dgemm_nn(&mut c, cb, &a, Block::full(&a), &b, Block::full(&b));
+        assert!(c.max_rel_diff(&naive_mm(&a, &b)) < 1e-13);
+    }
+
+    #[test]
+    fn dgemm_nn_subblock() {
+        let a = random_mat(8, 8, 3);
+        let b = random_mat(8, 8, 4);
+        let mut c = Mat::zeros(8, 8);
+        // multiply the top-left 4x4 of A by the top-right 4x4 of B into
+        // the middle of C
+        dgemm_nn(
+            &mut c,
+            Block::new(2, 2, 4, 4),
+            &a,
+            Block::new(0, 0, 4, 4),
+            &b,
+            Block::new(0, 4, 4, 4),
+        );
+        let mut expect = 0.0;
+        for k in 0..4 {
+            expect += a.at(1, k) * b.at(k, 5);
+        }
+        assert!((c.at(3, 3) - expect).abs() < 1e-13);
+        assert_eq!(c.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn dgemm_nt_sub_matches_naive() {
+        let a = random_mat(6, 4, 5);
+        let b = random_mat(5, 4, 6);
+        let mut c = random_mat(6, 5, 7);
+        let mut expect = c.clone();
+        for i in 0..6 {
+            for j in 0..5 {
+                let mut s = expect.at(i, j);
+                for k in 0..4 {
+                    s -= a.at(i, k) * b.at(j, k);
+                }
+                expect.set(i, j, s);
+            }
+        }
+        let cb = Block::full(&c.clone());
+        dgemm_nt_sub(&mut c, cb, &a, Block::full(&a), &b, Block::full(&b));
+        assert!(c.max_rel_diff(&expect) < 1e-13);
+    }
+
+    #[test]
+    fn dsyrk_updates_lower_only() {
+        let a = random_mat(5, 3, 8);
+        let mut c = Mat::zeros(5, 5);
+        let cb = Block::full(&c);
+        dsyrk_ln_sub(&mut c, cb, &a, Block::full(&a));
+        // upper triangle untouched
+        assert_eq!(c.at(0, 4), 0.0);
+        // lower agrees with -A·Aᵀ
+        let mut s = 0.0;
+        for k in 0..3 {
+            s += a.at(4, k) * a.at(2, k);
+        }
+        assert!((c.at(4, 2) + s).abs() < 1e-13);
+    }
+
+    #[test]
+    fn dtrsm_solves() {
+        // X·Lᵀ = B  ⇒  dtrsm_rlt(X=B) then X·Lᵀ == B
+        let n = 4;
+        let spd = random_spd(n, 9);
+        let mut l = Mat::zeros(n, n);
+        {
+            let mut tmp = spd.clone();
+            let tb = Block::full(&tmp);
+            dpotf2(&mut tmp, tb);
+            for j in 0..n {
+                for i in j..n {
+                    l.set(i, j, tmp.at(i, j));
+                }
+            }
+        }
+        let b = random_mat(3, n, 10);
+        let mut x = b.clone();
+        let xb = Block::full(&x);
+        dtrsm_rlt(&mut x, xb, &l, Block::full(&l));
+        // recompute X·Lᵀ
+        let mut back = Mat::zeros(3, n);
+        for i in 0..3 {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += x.at(i, k) * l.at(j, k);
+                }
+                back.set(i, j, s);
+            }
+        }
+        assert!(back.max_rel_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn dpotf2_factorizes() {
+        let n = 6;
+        let a0 = random_spd(n, 11);
+        let mut a = a0.clone();
+        let ab = Block::full(&a);
+        dpotf2(&mut a, ab);
+        // L·Lᵀ == A on the lower triangle
+        let mut back = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += a.at(i, k) * a.at(j, k);
+                }
+                back.set(i, j, s);
+                back.set(j, i, s);
+            }
+        }
+        assert!(back.max_rel_diff(&a0) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive definite")]
+    fn dpotf2_rejects_indefinite() {
+        let mut a = Mat::from_fn(2, 2, |i, j| if i == j { -1.0 } else { 0.0 });
+        dpotf2(&mut a, Block::new(0, 0, 2, 2));
+    }
+}

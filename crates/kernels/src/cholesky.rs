@@ -1,0 +1,332 @@
+//! Native Cholesky factorization variants — the four curves of the
+//! paper's Figure 11.
+//!
+//! * [`cholesky_pointwise`] — the input right-looking code of Fig. 1(ii);
+//! * [`cholesky_left_pointwise`] — the left-looking variant of Fig. 1(iii);
+//! * [`cholesky_shackled`] — a faithful transcription of the code the
+//!   scanner generates from the writes shackle (Fig. 7): blocked
+//!   structure, scalar inner loops ("Compiler generated code");
+//! * [`cholesky_shackled_dgemm`] — the same with the *one* biggest
+//!   matrix-multiply loop nest handed to the DGEMM substrate, exactly
+//!   the paper's "Matrix Multiply replaced by DGEMM" experiment;
+//! * [`cholesky_lapack`] — the fully blocked LAPACK `dpotrf` algorithm
+//!   on top of the BLAS-3 substrate ("LAPACK with native BLAS").
+//!
+//! All variants factor in place, writing the lower triangle; the strict
+//! upper triangle is left unspecified.
+
+use crate::blas::{dgemm_nt_sub_in, dpotf2, dsyrk_ln_sub_in, dtrsm_rlt_in, Block};
+use crate::Mat;
+
+/// Right-looking pointwise Cholesky (the paper's input code, ~8 MFLOPS
+/// flat on the SP-2).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or not positive definite.
+pub fn cholesky_pointwise(a: &mut Mat) {
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    for j in 0..n {
+        let d = a.at(j, j);
+        assert!(d > 0.0, "matrix not positive definite at pivot {j}");
+        let d = d.sqrt();
+        a.set(j, j, d);
+        for i in (j + 1)..n {
+            let v = a.at(i, j) / d;
+            a.set(i, j, v);
+        }
+        for l in (j + 1)..n {
+            for k in (j + 1)..=l {
+                let v = a.at(l, k) - a.at(l, j) * a.at(k, j);
+                a.set(l, k, v);
+            }
+        }
+    }
+}
+
+/// Left-looking pointwise Cholesky (Fig. 1(iii)).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or not positive definite.
+pub fn cholesky_left_pointwise(a: &mut Mat) {
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    for j in 0..n {
+        for l in j..n {
+            let mut v = a.at(l, j);
+            for k in 0..j {
+                v -= a.at(l, k) * a.at(j, k);
+            }
+            a.set(l, j, v);
+        }
+        let d = a.at(j, j);
+        assert!(d > 0.0, "matrix not positive definite at pivot {j}");
+        let d = d.sqrt();
+        a.set(j, j, d);
+        for i in (j + 1)..n {
+            let v = a.at(i, j) / d;
+            a.set(i, j, v);
+        }
+    }
+}
+
+/// The scanner's output for the writes shackle (Fig. 7), transcribed:
+/// per column block — update diagonal block from the left, baby-Cholesky
+/// it, then per row block below: update from the left and interleave
+/// scaling with local updates. All scalar loops.
+///
+/// # Panics
+///
+/// Panics if `nb == 0`, the matrix is not square, or not positive
+/// definite.
+pub fn cholesky_shackled(a: &mut Mat, nb: usize) {
+    assert!(nb > 0, "block size must be positive");
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + nb).min(n);
+        // (i) updates from the left to the diagonal block
+        for j in 0..j0 {
+            for t6 in j0..j1 {
+                for t7 in t6..j1 {
+                    let v = a.at(t7, t6) - a.at(t7, j) * a.at(t6, j);
+                    a.set(t7, t6, v);
+                }
+            }
+        }
+        // (ii) baby Cholesky of the diagonal block
+        for j in j0..j1 {
+            let d = a.at(j, j);
+            assert!(d > 0.0, "matrix not positive definite at pivot {j}");
+            let d = d.sqrt();
+            a.set(j, j, d);
+            for i in (j + 1)..j1 {
+                let v = a.at(i, j) / d;
+                a.set(i, j, v);
+            }
+            for t6 in (j + 1)..j1 {
+                for t7 in t6..j1 {
+                    let v = a.at(t7, t6) - a.at(t7, j) * a.at(t6, j);
+                    a.set(t7, t6, v);
+                }
+            }
+        }
+        // per off-diagonal row block
+        let mut i0 = j1;
+        while i0 < n {
+            let i1 = (i0 + nb).min(n);
+            // (iii) updates from the left
+            for j in 0..j0 {
+                for t6 in j0..j1 {
+                    for t7 in i0..i1 {
+                        let v = a.at(t7, t6) - a.at(t7, j) * a.at(t6, j);
+                        a.set(t7, t6, v);
+                    }
+                }
+            }
+            // (iv) interleaved scaling and local updates
+            for j in j0..j1 {
+                let d = a.at(j, j);
+                for t5 in i0..i1 {
+                    let v = a.at(t5, j) / d;
+                    a.set(t5, j, v);
+                }
+                for t6 in (j + 1)..j1 {
+                    for t7 in i0..i1 {
+                        let v = a.at(t7, t6) - a.at(t7, j) * a.at(t6, j);
+                        a.set(t7, t6, v);
+                    }
+                }
+            }
+            i0 = i1;
+        }
+        j0 = j1;
+    }
+}
+
+/// [`cholesky_shackled`] with section (iii) — the dominant
+/// matrix-multiply loop nest — replaced by a DGEMM call, mirroring the
+/// paper's surgical replacement ("we replaced only one of several matrix
+/// multiplications in the blocked code by a call to DGEMM").
+///
+/// # Panics
+///
+/// As [`cholesky_shackled`].
+pub fn cholesky_shackled_dgemm(a: &mut Mat, nb: usize) {
+    assert!(nb > 0, "block size must be positive");
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + nb).min(n);
+        for j in 0..j0 {
+            for t6 in j0..j1 {
+                for t7 in t6..j1 {
+                    let v = a.at(t7, t6) - a.at(t7, j) * a.at(t6, j);
+                    a.set(t7, t6, v);
+                }
+            }
+        }
+        for j in j0..j1 {
+            let d = a.at(j, j);
+            assert!(d > 0.0, "matrix not positive definite at pivot {j}");
+            let d = d.sqrt();
+            a.set(j, j, d);
+            for i in (j + 1)..j1 {
+                let v = a.at(i, j) / d;
+                a.set(i, j, v);
+            }
+            for t6 in (j + 1)..j1 {
+                for t7 in t6..j1 {
+                    let v = a.at(t7, t6) - a.at(t7, j) * a.at(t6, j);
+                    a.set(t7, t6, v);
+                }
+            }
+        }
+        let mut i0 = j1;
+        while i0 < n {
+            let i1 = (i0 + nb).min(n);
+            if j0 > 0 {
+                // section (iii) as one DGEMM: A[i0..i1, j0..j1] -=
+                // A[i0..i1, 0..j0] · A[j0..j1, 0..j0]ᵀ
+                dgemm_nt_sub_in(
+                    a,
+                    Block::new(i0, j0, i1 - i0, j1 - j0),
+                    Block::new(i0, 0, i1 - i0, j0),
+                    Block::new(j0, 0, j1 - j0, j0),
+                );
+            }
+            for j in j0..j1 {
+                let d = a.at(j, j);
+                for t5 in i0..i1 {
+                    let v = a.at(t5, j) / d;
+                    a.set(t5, j, v);
+                }
+                for t6 in (j + 1)..j1 {
+                    for t7 in i0..i1 {
+                        let v = a.at(t7, t6) - a.at(t7, j) * a.at(t6, j);
+                        a.set(t7, t6, v);
+                    }
+                }
+            }
+            i0 = i1;
+        }
+        j0 = j1;
+    }
+}
+
+/// Fully blocked LAPACK-style `dpotrf` (right-looking) on the BLAS-3
+/// substrate: `dpotf2` on the diagonal block, `dtrsm` on the panel,
+/// `dsyrk`/`dgemm` on the trailing matrix.
+///
+/// # Panics
+///
+/// Panics if `nb == 0`, the matrix is not square, or not positive
+/// definite.
+pub fn cholesky_lapack(a: &mut Mat, nb: usize) {
+    assert!(nb > 0, "block size must be positive");
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + nb).min(n);
+        let kb = k1 - k0;
+        dpotf2(a, Block::new(k0, k0, kb, kb));
+        if k1 < n {
+            dtrsm_rlt_in(
+                a,
+                Block::new(k1, k0, n - k1, kb),
+                Block::new(k0, k0, kb, kb),
+            );
+            // trailing update: diagonal blocks via syrk, off-diagonal
+            // via gemm, lower triangle only
+            let mut d0 = k1;
+            while d0 < n {
+                let d1 = (d0 + nb).min(n);
+                dsyrk_ln_sub_in(
+                    a,
+                    Block::new(d0, d0, d1 - d0, d1 - d0),
+                    Block::new(d0, k0, d1 - d0, kb),
+                );
+                if d1 < n {
+                    dgemm_nt_sub_in(
+                        a,
+                        Block::new(d1, d0, n - d1, d1 - d0),
+                        Block::new(d1, k0, n - d1, kb),
+                        Block::new(d0, k0, d1 - d0, kb),
+                    );
+                }
+                d0 = d1;
+            }
+        }
+        k0 = k1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_spd;
+
+    fn check_against_pointwise(factor: impl Fn(&mut Mat), n: usize, seed: u64) {
+        let a0 = random_spd(n, seed);
+        let mut reference = a0.clone();
+        cholesky_pointwise(&mut reference);
+        let mut candidate = a0;
+        factor(&mut candidate);
+        let diff = reference.max_rel_diff_lower(&candidate);
+        assert!(diff < 1e-10, "lower-triangle mismatch: {diff}");
+    }
+
+    #[test]
+    fn pointwise_reconstructs() {
+        let n = 12;
+        let a0 = random_spd(n, 1);
+        let mut l = a0.clone();
+        cholesky_pointwise(&mut l);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += l.at(i, k) * l.at(j, k);
+                }
+                assert!((s - a0.at(i, j)).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn left_matches_right() {
+        check_against_pointwise(cholesky_left_pointwise, 23, 2);
+    }
+
+    #[test]
+    fn shackled_matches_for_various_blockings() {
+        for (n, nb) in [(16, 4), (17, 4), (30, 8), (8, 16), (9, 3)] {
+            check_against_pointwise(|a| cholesky_shackled(a, nb), n, 3);
+        }
+    }
+
+    #[test]
+    fn shackled_dgemm_matches() {
+        for (n, nb) in [(16, 4), (25, 8), (31, 7)] {
+            check_against_pointwise(|a| cholesky_shackled_dgemm(a, nb), n, 4);
+        }
+    }
+
+    #[test]
+    fn lapack_matches() {
+        for (n, nb) in [(16, 4), (25, 8), (31, 7), (5, 8)] {
+            check_against_pointwise(|a| cholesky_lapack(a, nb), n, 5);
+        }
+    }
+
+    #[test]
+    fn block_size_one_degenerates_gracefully() {
+        check_against_pointwise(|a| cholesky_shackled(a, 1), 10, 6);
+        check_against_pointwise(|a| cholesky_lapack(a, 1), 10, 6);
+    }
+}

@@ -1,0 +1,261 @@
+//! Gaussian elimination without pivoting — the computational core of
+//! the GMTRY benchmark from the NAS/SPEC suite (the paper's Fig. 13(i)).
+
+use crate::blas::{dtrsm_llnu_in, Block};
+use crate::Mat;
+
+/// The input code (§7): in-place LU without pivoting, `L` unit-lower
+/// below the diagonal, `U` on and above.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or a pivot is zero.
+pub fn gauss_pointwise(a: &mut Mat) {
+    assert_eq!(a.rows(), a.cols(), "Gaussian elimination needs square");
+    let n = a.rows();
+    for k in 0..n {
+        let d = a.at(k, k);
+        assert!(d != 0.0, "zero pivot at {k} (no pivoting)");
+        for i in (k + 1)..n {
+            let v = a.at(i, k) / d;
+            a.set(i, k, v);
+        }
+        for j in (k + 1)..n {
+            let u = a.at(k, j);
+            for i in (k + 1)..n {
+                let v = a.at(i, j) - a.at(i, k) * u;
+                a.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// The shackled code: both dimensions of `A` blocked through the LHS
+/// references (the same shackle as Cholesky, §7: "Data shackling blocked
+/// the array in both dimensions, and produced code similar to what we
+/// obtained in Cholesky factorization"). Scalar loops, lazy left-updates
+/// per block.
+///
+/// # Panics
+///
+/// Panics if `nb == 0`, not square, or a pivot is zero.
+pub fn gauss_shackled(a: &mut Mat, nb: usize) {
+    assert!(nb > 0, "block size must be positive");
+    assert_eq!(a.rows(), a.cols(), "Gaussian elimination needs square");
+    let n = a.rows();
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + nb).min(n);
+        // (i) pending updates from the left to the block column k0..k1
+        // (rows k0..n)
+        for k in 0..k0 {
+            for j in k0..k1 {
+                for i in k0..n {
+                    let v = a.at(i, j) - a.at(i, k) * a.at(k, j);
+                    a.set(i, j, v);
+                }
+            }
+        }
+        // (ii) factor the panel (columns k0..k1, all rows below)
+        for k in k0..k1 {
+            let d = a.at(k, k);
+            assert!(d != 0.0, "zero pivot at {k} (no pivoting)");
+            for i in (k + 1)..n {
+                let v = a.at(i, k) / d;
+                a.set(i, k, v);
+            }
+            for j in (k + 1)..k1 {
+                let l = a.at(k, j);
+                let _ = l;
+                for i in (k + 1)..n {
+                    let v = a.at(i, j) - a.at(i, k) * a.at(k, j);
+                    a.set(i, j, v);
+                }
+            }
+        }
+        // (iii) pending updates to the block *row* k0..k1 (columns to
+        // the right), so later block columns see finished U rows
+        for k in 0..k0 {
+            for j in k1..n {
+                for i in k0..k1 {
+                    if i > k {
+                        let v = a.at(i, j) - a.at(i, k) * a.at(k, j);
+                        a.set(i, j, v);
+                    }
+                }
+            }
+        }
+        for k in k0..k1 {
+            for j in k1..n {
+                for i in (k + 1)..k1 {
+                    let v = a.at(i, j) - a.at(i, k) * a.at(k, j);
+                    a.set(i, j, v);
+                }
+            }
+        }
+        k0 = k1;
+    }
+    // trailing updates for the final block row/columns are already
+    // applied lazily above; nothing remains.
+}
+
+/// LAPACK-style blocked LU without pivoting (`dgetrf`-shaped): factor a
+/// panel, triangular-solve the `U12` block row, rank-`nb` update of the
+/// trailing matrix with DGEMM.
+///
+/// # Panics
+///
+/// Panics if `nb == 0`, not square, or a pivot is zero.
+pub fn gauss_blocked_dgemm(a: &mut Mat, nb: usize) {
+    assert!(nb > 0, "block size must be positive");
+    assert_eq!(a.rows(), a.cols(), "Gaussian elimination needs square");
+    let n = a.rows();
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + nb).min(n);
+        // panel factorization (columns k0..k1)
+        for k in k0..k1 {
+            let d = a.at(k, k);
+            assert!(d != 0.0, "zero pivot at {k} (no pivoting)");
+            for i in (k + 1)..n {
+                let v = a.at(i, k) / d;
+                a.set(i, k, v);
+            }
+            for j in (k + 1)..k1 {
+                let u = a.at(k, j);
+                if u == 0.0 {
+                    continue;
+                }
+                for i in (k + 1)..n {
+                    let v = a.at(i, j) - a.at(i, k) * u;
+                    a.set(i, j, v);
+                }
+            }
+        }
+        if k1 < n {
+            // U12 := L11⁻¹ · A12
+            dtrsm_llnu_in(
+                a,
+                Block::new(k0, k1, k1 - k0, n - k1),
+                Block::new(k0, k0, k1 - k0, k1 - k0),
+            );
+            // A22 -= L21 · U12  (note: dgemm_nt_sub_in computes C -= A·Bᵀ,
+            // so feed it U12ᵀ's location... we need plain NN; do it with
+            // an explicit kernel)
+            gemm_nn_sub_in(
+                a,
+                Block::new(k1, k1, n - k1, n - k1),
+                Block::new(k1, k0, n - k1, k1 - k0),
+                Block::new(k0, k1, k1 - k0, n - k1),
+            );
+        }
+        k0 = k1;
+    }
+}
+
+/// `A[cb] −= A[ab] · A[bb]` in place (NN orientation).
+fn gemm_nn_sub_in(a: &mut Mat, cb: Block, ab: Block, bb: Block) {
+    let ld = a.rows();
+    let (m, n, k) = (cb.m, cb.n, ab.n);
+    assert_eq!(ab.m, m);
+    assert_eq!(bb.n, n);
+    assert_eq!(bb.m, k);
+    let data = a.data_mut();
+    for j in 0..n {
+        let ccol = (cb.c0 + j) * ld + cb.r0;
+        for p in 0..k {
+            let s = data[(bb.c0 + j) * ld + bb.r0 + p];
+            if s == 0.0 {
+                continue;
+            }
+            let acol = (ab.c0 + p) * ld + ab.r0;
+            crate::blas::axpy_sub_in_pub(data, ccol, acol, m, s);
+        }
+    }
+}
+
+/// The GMTRY benchmark proxy: Gaussian elimination plus a fixed amount
+/// of non-eliminable streaming work (the rest of the SPEC kernel, which
+/// the paper reports dilutes the 3× elimination speedup to ~2× overall).
+/// Returns a checksum so the extra work is not optimized away.
+pub fn gmtry_benchmark(a: &mut Mat, eliminate: impl Fn(&mut Mat)) -> f64 {
+    // "rest of the benchmark": set up the dense system from a boundary
+    // grid (streaming, O(n²), untransformed in the paper)
+    let n = a.rows();
+    let mut acc = 0.0;
+    for sweep in 0..4 {
+        for j in 0..n {
+            for i in 0..n {
+                acc += a.at(i, j) * (1.0 + (sweep as f64) * 1e-3);
+            }
+        }
+    }
+    eliminate(a);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_spd;
+
+    fn check(factor: impl Fn(&mut Mat), n: usize, seed: u64) {
+        // SPD matrices are safely non-pivoting
+        let a0 = random_spd(n, seed);
+        let mut gold = a0.clone();
+        gauss_pointwise(&mut gold);
+        let mut c = a0;
+        factor(&mut c);
+        let diff = gold.max_rel_diff(&c);
+        assert!(diff < 1e-9, "mismatch {diff}");
+    }
+
+    #[test]
+    fn lu_reconstructs() {
+        let n = 10;
+        let a0 = random_spd(n, 1);
+        let mut lu = a0.clone();
+        gauss_pointwise(&mut lu);
+        // A == L·U
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu.at(i, k) };
+                    let u = lu.at(k, j);
+                    if k < i {
+                        s += lu.at(i, k) * u;
+                    } else {
+                        s += l * u;
+                    }
+                }
+                assert!((s - a0.at(i, j)).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn shackled_matches() {
+        for (n, nb) in [(12, 4), (13, 4), (20, 8), (7, 10)] {
+            check(|a| gauss_shackled(a, nb), n, 2);
+        }
+    }
+
+    #[test]
+    fn blocked_dgemm_matches() {
+        for (n, nb) in [(12, 4), (13, 4), (21, 8)] {
+            check(|a| gauss_blocked_dgemm(a, nb), n, 3);
+        }
+    }
+
+    #[test]
+    fn gmtry_checksum_stable() {
+        let a0 = random_spd(8, 4);
+        let mut a1 = a0.clone();
+        let c1 = gmtry_benchmark(&mut a1, gauss_pointwise);
+        let mut a2 = a0.clone();
+        let c2 = gmtry_benchmark(&mut a2, |m| gauss_shackled(m, 4));
+        assert!((c1 - c2).abs() < 1e-9);
+        assert!(a1.max_rel_diff(&a2) < 1e-9);
+    }
+}

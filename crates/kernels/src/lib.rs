@@ -1,0 +1,41 @@
+//! The PLDI 1997 evaluation kernels and their baselines.
+//!
+//! Part of the `data-shackle` workspace ("Data-centric Multi-level
+//! Blocking" reproduction). This crate supplies everything the paper's
+//! §7 experiments need beyond the transformation framework itself:
+//!
+//! * [`Mat`] / [`TracedMat`] — column-major matrices, optionally traced
+//!   into the cache simulator;
+//! * [`blas`] — the DGEMM/BLAS-3 substrate standing in for ESSL;
+//! * [`cholesky`], [`matmul`], [`qr`], [`gauss`], [`adi`], [`banded`] —
+//!   native implementations of each benchmark in all the variants the
+//!   figures compare (input code, compiler-shackled code, shackled code
+//!   with DGEMM, LAPACK-style blocked code);
+//! * [`trace`] — adapters that replay IR interpreter executions into
+//!   `shackle-memsim` hierarchies (dense and band storage);
+//! * [`traced`] — traced duplicates of the two baselines whose
+//!   algorithms exist only natively (WY QR, LAPACK banded Cholesky);
+//! * [`gen`] — deterministic workload generators.
+//!
+//! The IR forms of the kernels live in [`shackle_ir::kernels`]; this
+//! crate's native forms are cross-validated against them in the
+//! workspace integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+
+pub mod adi;
+pub mod banded;
+pub mod blas;
+pub mod cholesky;
+pub mod gauss;
+pub mod gen;
+pub mod matmul;
+pub mod qr;
+pub mod shackles;
+pub mod trace;
+pub mod traced;
+
+pub use matrix::{Mat, TracedMat};

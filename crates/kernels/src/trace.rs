@@ -1,0 +1,336 @@
+//! Bridging interpreter executions into the cache simulator.
+//!
+//! [`AddressMap`] assigns every array of a program a base address (lines
+//! never shared between arrays); [`MemObserver`] implements the
+//! interpreter's [`Observer`] hook and replays each element access into
+//! a [`Hierarchy`].
+
+use shackle_exec::{Access, Observer};
+use shackle_ir::Program;
+use shackle_memsim::Hierarchy;
+use std::collections::BTreeMap;
+
+/// Element size in bytes (`f64`).
+pub const ELEM_BYTES: u64 = 8;
+
+/// Assigns base addresses to a program's arrays, in declaration order,
+/// aligned to `align` bytes (use the largest cache line size).
+#[derive(Clone, Debug)]
+pub struct AddressMap {
+    bases: BTreeMap<String, u64>,
+}
+
+impl AddressMap {
+    /// Lay out the arrays of `program` with extents evaluated under
+    /// `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter is missing or `align` is zero.
+    pub fn for_program(program: &Program, params: &BTreeMap<String, i64>, align: u64) -> Self {
+        assert!(align > 0, "alignment must be positive");
+        let mut bases = BTreeMap::new();
+        let mut at = 0u64;
+        for decl in program.arrays() {
+            bases.insert(decl.name().to_string(), at);
+            let elems: u64 = decl
+                .dims()
+                .iter()
+                .map(|e| {
+                    e.eval(&|p| {
+                        *params
+                            .get(p)
+                            .unwrap_or_else(|| panic!("missing parameter {p}"))
+                    }) as u64
+                })
+                .product();
+            at += elems * ELEM_BYTES;
+            at = at.div_ceil(align) * align;
+        }
+        Self { bases }
+    }
+
+    /// Base address of an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown arrays.
+    pub fn base(&self, array: &str) -> u64 {
+        *self
+            .bases
+            .get(array)
+            .unwrap_or_else(|| panic!("no base address for array {array}"))
+    }
+
+    /// Global byte address of an element access.
+    pub fn address(&self, array: &str, offset: usize) -> u64 {
+        self.base(array) + offset as u64 * ELEM_BYTES
+    }
+}
+
+/// An interpreter [`Observer`] that feeds a [`Hierarchy`].
+#[derive(Debug)]
+pub struct MemObserver<'a> {
+    map: AddressMap,
+    hierarchy: &'a mut Hierarchy,
+}
+
+impl<'a> MemObserver<'a> {
+    /// Build an observer over a hierarchy.
+    pub fn new(map: AddressMap, hierarchy: &'a mut Hierarchy) -> Self {
+        Self { map, hierarchy }
+    }
+}
+
+impl Observer for MemObserver<'_> {
+    fn access(&mut self, a: Access<'_>) {
+        let addr = self.map.address(a.array, a.offset);
+        self.hierarchy.access(addr);
+    }
+}
+
+/// An observer that remaps accesses to one square array through the
+/// LAPACK lower-band storage layout — the paper's §7 post-pass data
+/// transformation for banded Cholesky ("only the bands in the matrix
+/// are stored (in column order), rather than the entire input matrix").
+///
+/// Element `(i, j)` (0-based, `j ≤ i ≤ j + p`) maps to band address
+/// `8·((i − j) + j·(p+1))`. Accesses to other arrays are laid out after
+/// the band.
+#[derive(Debug)]
+pub struct BandObserver<'a> {
+    array: String,
+    n: usize,
+    p: usize,
+    other_base: u64,
+    hierarchy: &'a mut Hierarchy,
+}
+
+impl<'a> BandObserver<'a> {
+    /// Build a band-mapping observer for the `n × n` array `array` with
+    /// half-bandwidth `p`.
+    pub fn new(array: &str, n: usize, p: usize, hierarchy: &'a mut Hierarchy) -> Self {
+        let band_bytes = ((p + 1) * n) as u64 * ELEM_BYTES;
+        Self {
+            array: array.to_string(),
+            n,
+            p,
+            other_base: band_bytes.div_ceil(128) * 128,
+            hierarchy,
+        }
+    }
+}
+
+impl Observer for BandObserver<'_> {
+    fn access(&mut self, a: Access<'_>) {
+        let addr = if a.array == self.array {
+            let i = a.offset % self.n;
+            let j = a.offset / self.n;
+            assert!(
+                i >= j && i - j <= self.p,
+                "banded code touched ({i},{j}) outside the band (p = {})",
+                self.p
+            );
+            (((i - j) + j * (self.p + 1)) as u64) * ELEM_BYTES
+        } else {
+            self.other_base + a.offset as u64 * ELEM_BYTES
+        };
+        self.hierarchy.access(addr);
+    }
+}
+
+/// An observer that remaps accesses to one square array through a
+/// **block-major layout**: the §5.3 physical data reshaping the paper
+/// mentions ("nothing prevents us from reshaping the physical data
+/// array"; cf. its citations of Anderson–Amarasinghe–Lam and
+/// Cierniak–Li). Blocks of `b × b` are stored contiguously (column-major
+/// of blocks, column-major within a block), which makes a blocked
+/// computation's working set contiguous and immune to the
+/// leading-dimension set conflicts of column-major storage at unlucky
+/// sizes.
+#[derive(Debug)]
+pub struct BlockMajorObserver<'a> {
+    array: String,
+    n: usize,
+    b: usize,
+    other_base: u64,
+    hierarchy: &'a mut Hierarchy,
+}
+
+impl<'a> BlockMajorObserver<'a> {
+    /// Build a block-major observer for the `n × n` array `array` with
+    /// block size `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn new(array: &str, n: usize, b: usize, hierarchy: &'a mut Hierarchy) -> Self {
+        assert!(b > 0, "block size must be positive");
+        let nb = n.div_ceil(b);
+        let bytes = (nb * nb * b * b) as u64 * ELEM_BYTES;
+        Self {
+            array: array.to_string(),
+            n,
+            b,
+            other_base: bytes.div_ceil(128) * 128,
+            hierarchy,
+        }
+    }
+
+    /// The block-major byte address of dense element `(i, j)` (0-based).
+    pub fn address(&self, i: usize, j: usize) -> u64 {
+        block_major_address(self.n, self.b, i, j)
+    }
+}
+
+/// The block-major byte address of element `(i, j)` (0-based) of an
+/// `n × n` array stored as contiguous `b × b` blocks (column-major of
+/// blocks, column-major within each block).
+pub fn block_major_address(n: usize, b: usize, i: usize, j: usize) -> u64 {
+    let nb = n.div_ceil(b);
+    let (bi, bj) = (i / b, j / b);
+    let (ii, jj) = (i % b, j % b);
+    let block = bj * nb + bi;
+    ((block * b * b + jj * b + ii) as u64) * ELEM_BYTES
+}
+
+impl Observer for BlockMajorObserver<'_> {
+    fn access(&mut self, a: Access<'_>) {
+        let addr = if a.array == self.array {
+            let i = a.offset % self.n;
+            let j = a.offset / self.n;
+            self.address(i, j)
+        } else {
+            self.other_base + a.offset as u64 * ELEM_BYTES
+        };
+        self.hierarchy.access(addr);
+    }
+}
+
+/// Run `program` through the interpreter against a fresh workspace and a
+/// hierarchy, returning `(stats, hierarchy cycles at exit are in the
+/// hierarchy)`. Convenience for the figure harnesses.
+pub fn trace_execution(
+    program: &Program,
+    params: &BTreeMap<String, i64>,
+    init: impl Fn(&str, &[usize]) -> f64,
+    hierarchy: &mut Hierarchy,
+) -> shackle_exec::ExecStats {
+    let map = AddressMap::for_program(program, params, 128);
+    let mut ws = shackle_exec::Workspace::for_program(program, params, init);
+    let mut obs = MemObserver::new(map, hierarchy);
+    shackle_exec::execute(program, &mut ws, params, &mut obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shackle_ir::kernels;
+
+    fn params(n: i64) -> BTreeMap<String, i64> {
+        BTreeMap::from([("N".to_string(), n)])
+    }
+
+    #[test]
+    fn address_map_is_aligned_and_disjoint() {
+        let p = kernels::matmul_ijk();
+        let m = AddressMap::for_program(&p, &params(10), 128);
+        let c = m.base("C");
+        let a = m.base("A");
+        let b = m.base("B");
+        let mut v = [c, a, b];
+        v.sort_unstable();
+        assert!(v[1] - v[0] >= 800);
+        assert!(v[2] - v[1] >= 800);
+        assert_eq!(a % 128, 0);
+        assert_eq!(m.address("C", 3), c + 24);
+    }
+
+    #[test]
+    fn traced_matmul_touches_memory() {
+        let p = kernels::matmul_ijk();
+        let mut h = shackle_memsim::Hierarchy::sp2_thin_node();
+        let stats = trace_execution(&p, &params(8), |_, _| 1.0, &mut h);
+        assert_eq!(stats.instances, 512);
+        // every load/store reached the hierarchy
+        assert_eq!(h.accesses(), stats.loads + stats.stores);
+        assert!(h.level_stats()[0].misses > 0);
+    }
+
+    #[test]
+    fn band_observer_maps_into_band_storage() {
+        let p = kernels::banded_cholesky();
+        let (n, bw) = (12i64, 3i64);
+        let params = BTreeMap::from([("N".to_string(), n), ("P".to_string(), bw)]);
+        let mut h = shackle_memsim::Hierarchy::sp2_thin_node();
+        let init = crate::gen::banded_ws_init("A", n as usize, bw as usize, 1);
+        let mut ws = shackle_exec::Workspace::for_program(&p, &params, &init);
+        let mut obs = BandObserver::new("A", n as usize, bw as usize, &mut h);
+        let stats = shackle_exec::execute(&p, &mut ws, &params, &mut obs);
+        // band storage is tiny: (p+1)*n elements = 48; all accesses land
+        // inside it, so the cold-miss count is bounded by its lines
+        assert!(stats.instances > 0);
+        assert!(h.level_stats()[0].misses <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the band")]
+    fn band_observer_rejects_out_of_band() {
+        let mut h = shackle_memsim::Hierarchy::sp2_thin_node();
+        let mut obs = BandObserver::new("A", 10, 2, &mut h);
+        use shackle_exec::Observer;
+        // dense offset of (8, 1) 0-based: i=8, j=1, |i-j| = 7 > 2
+        obs.access(shackle_exec::Access {
+            array: "A",
+            offset: 8 + 10,
+            write: false,
+        });
+    }
+
+    #[test]
+    fn block_major_addresses_are_a_bijection_within_blocks() {
+        let mut h = shackle_memsim::Hierarchy::sp2_thin_node();
+        let obs = BlockMajorObserver::new("A", 10, 4, &mut h);
+        let mut seen = std::collections::BTreeSet::new();
+        for j in 0..10 {
+            for i in 0..10 {
+                assert!(seen.insert(obs.address(i, j)), "duplicate at ({i},{j})");
+            }
+        }
+        // elements of one block are contiguous
+        let base = obs.address(4, 4);
+        assert_eq!(obs.address(5, 4), base + 8);
+        assert_eq!(obs.address(4, 5), base + 32);
+    }
+
+    #[test]
+    fn blocked_matmul_misses_less_on_tiny_cache() {
+        use shackle_core::{scan::generate_scanned, Blocking, Shackle};
+        let p = kernels::matmul_ijk();
+        let sc = Shackle::on_writes(&p, Blocking::square("C", 2, &[0, 1], 8));
+        let sa = Shackle::new(
+            &p,
+            Blocking::square("A", 2, &[0, 1], 8),
+            vec![shackle_ir::ArrayRef::vars("A", &["I", "K"])],
+        );
+        let blocked = generate_scanned(&p, &[sc, sa]);
+        let n = 48;
+        // a cache that holds a few 8x8 blocks but not three 48x48
+        // matrices
+        let cfg = shackle_memsim::CacheConfig {
+            size: 4096,
+            line: 64,
+            assoc: 4,
+            latency: 1,
+        };
+        let mut h1 = shackle_memsim::Hierarchy::new(&[cfg], 60);
+        let mut h2 = shackle_memsim::Hierarchy::new(&[cfg], 60);
+        trace_execution(&p, &params(n), |_, _| 1.0, &mut h1);
+        trace_execution(&blocked, &params(n), |_, _| 1.0, &mut h2);
+        let (m1, m2) = (h1.level_stats()[0].misses, h2.level_stats()[0].misses);
+        assert!(
+            (m2 as f64) < 0.5 * m1 as f64,
+            "blocked should at least halve misses: {m1} vs {m2}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! An optional TLB model.
+//!
+//! The paper's input codes sweep rows of column-major arrays; on the
+//! real SP-2 such strides paid address-translation misses on top of
+//! cache misses. The base hierarchy deliberately omits this (the
+//! calibrated figures in EXPERIMENTS.md document the consequence); a
+//! [`Tlb`] can be attached to a [`crate::Hierarchy`] to study it.
+
+use std::fmt;
+
+/// TLB geometry and miss cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Page size in bytes (power of two).
+    pub page: usize,
+    /// Number of entries (fully associative, true LRU).
+    pub entries: usize,
+    /// Cycles charged per miss (page-table walk).
+    pub miss_penalty: u64,
+}
+
+impl TlbConfig {
+    /// A POWER2-like TLB: 4 KB pages, 128 entries, 30-cycle walk.
+    pub fn power2_like() -> Self {
+        Self {
+            page: 4096,
+            entries: 128,
+            miss_penalty: 30,
+        }
+    }
+}
+
+/// A fully associative, true-LRU translation lookaside buffer.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_memsim::{Tlb, TlbConfig};
+/// let mut t = Tlb::new(TlbConfig { page: 4096, entries: 2, miss_penalty: 30 });
+/// assert!(!t.access(0));        // cold
+/// assert!(t.access(100));       // same page
+/// assert!(!t.access(4096));     // next page
+/// assert!(!t.access(2 * 4096)); // evicts page 0
+/// assert!(!t.access(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// Resident page numbers, most recently used first.
+    pages: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Build an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page size is not a power of two or `entries == 0`.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(
+            config.page.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(config.entries > 0, "TLB needs at least one entry");
+        Self {
+            config,
+            pages: Vec::with_capacity(config.entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Translate the byte address; returns whether it hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr / self.config.page as u64;
+        if let Some(i) = self.pages.iter().position(|&p| p == page) {
+            self.pages.remove(i);
+            self.pages.insert(0, page);
+            self.hits += 1;
+            true
+        } else {
+            if self.pages.len() == self.config.entries {
+                self.pages.pop();
+            }
+            self.pages.insert(0, page);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Reset contents and counters.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+impl fmt::Display for Tlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-entry TLB ({} B pages): {} hits, {} misses",
+            self.config.entries, self.config.page, self.hits, self.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_thrash_vs_sequential() {
+        // sequential: one miss per page; page-strided over > entries
+        // pages: every access misses on the second pass
+        let cfg = TlbConfig {
+            page: 4096,
+            entries: 8,
+            miss_penalty: 30,
+        };
+        let mut seq = Tlb::new(cfg);
+        for a in (0..16 * 4096u64).step_by(8) {
+            seq.access(a);
+        }
+        assert_eq!(seq.misses(), 16);
+        let mut strided = Tlb::new(cfg);
+        for _ in 0..2 {
+            for p in 0..16u64 {
+                strided.access(p * 4096);
+            }
+        }
+        assert_eq!(strided.misses(), 32, "LRU thrash on a sweep > capacity");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Tlb::new(TlbConfig::power2_like());
+        t.access(0);
+        t.clear();
+        assert_eq!(t.misses(), 0);
+        assert!(!t.access(0));
+    }
+}

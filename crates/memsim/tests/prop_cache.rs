@@ -1,0 +1,117 @@
+//! Property tests for the cache simulator: LRU inclusion, determinism,
+//! and agreement with a naive reference model.
+
+use proptest::prelude::*;
+use shackle_memsim::{Cache, CacheConfig, Hierarchy};
+
+/// A naive LRU model: per set, a vector of tags in recency order.
+struct RefModel {
+    sets: Vec<Vec<u64>>,
+    line: u64,
+    assoc: usize,
+}
+
+impl RefModel {
+    fn new(cfg: CacheConfig) -> Self {
+        Self {
+            sets: vec![Vec::new(); cfg.sets()],
+            line: cfg.line as u64,
+            assoc: cfg.assoc,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let tag = addr / self.line;
+        let set = (tag % self.sets.len() as u64) as usize;
+        let s = &mut self.sets[set];
+        if let Some(i) = s.iter().position(|&t| t == tag) {
+            s.remove(i);
+            s.insert(0, tag);
+            true
+        } else {
+            if s.len() == self.assoc {
+                s.pop();
+            }
+            s.insert(0, tag);
+            false
+        }
+    }
+}
+
+fn trace() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..4096, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production cache agrees with the naive model access by
+    /// access.
+    #[test]
+    fn matches_reference_model(addrs in trace()) {
+        let cfg = CacheConfig { size: 512, line: 32, assoc: 2, latency: 1 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefModel::new(cfg);
+        for &a in &addrs {
+            prop_assert_eq!(cache.access(a), reference.access(a));
+        }
+    }
+
+    /// LRU inclusion: doubling associativity (same set count) never
+    /// turns a hit into a miss.
+    #[test]
+    fn more_ways_never_hurt(addrs in trace()) {
+        let small = CacheConfig { size: 512, line: 32, assoc: 2, latency: 1 };
+        let big = CacheConfig { size: 1024, line: 32, assoc: 4, latency: 1 };
+        assert_eq!(small.sets(), big.sets());
+        let mut c1 = Cache::new(small);
+        let mut c2 = Cache::new(big);
+        for &a in &addrs {
+            let h1 = c1.access(a);
+            let h2 = c2.access(a);
+            prop_assert!(!h1 || h2, "hit in small but miss in big at {a}");
+        }
+    }
+
+    /// Replays are deterministic, and hierarchy counters are conserved:
+    /// accesses at level k+1 equal misses at level k.
+    #[test]
+    fn hierarchy_conservation(addrs in trace()) {
+        let cfgs = [
+            CacheConfig { size: 256, line: 32, assoc: 2, latency: 1 },
+            CacheConfig { size: 1024, line: 64, assoc: 4, latency: 10 },
+        ];
+        let mut h = Hierarchy::new(&cfgs, 50);
+        for &a in &addrs {
+            h.access(a);
+        }
+        let stats = h.level_stats();
+        prop_assert_eq!(stats[0].accesses(), addrs.len() as u64);
+        prop_assert_eq!(stats[1].accesses(), stats[0].misses);
+        // cycles formula: per-level probe latencies + memory on full miss
+        let expect = stats[0].accesses() * cfgs[0].latency
+            + stats[1].accesses() * cfgs[1].latency
+            + stats[1].misses * 50;
+        prop_assert_eq!(h.cycles(), expect);
+        // determinism
+        let mut h2 = Hierarchy::new(&cfgs, 50);
+        for &a in &addrs {
+            h2.access(a);
+        }
+        prop_assert_eq!(h2.cycles(), h.cycles());
+    }
+
+    /// A working set that fits is eventually all hits.
+    #[test]
+    fn resident_working_set_hits(start in 0u64..1000) {
+        let cfg = CacheConfig { size: 4096, line: 64, assoc: 4, latency: 1 };
+        let mut c = Cache::new(cfg);
+        let lines: Vec<u64> = (0..32).map(|i| (start + i) * 64).collect();
+        for &a in &lines {
+            c.access(a);
+        }
+        for &a in &lines {
+            prop_assert!(c.access(a), "resident line {a} missed");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Affine constraints: equalities `e = 0` and inequalities `e >= 0`.
+
+use crate::LinExpr;
+use std::fmt;
+
+/// The relation of a [`Constraint`]: its expression is either exactly zero
+/// or non-negative.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rel {
+    /// `expr = 0`.
+    Eq,
+    /// `expr >= 0`.
+    Geq,
+}
+
+/// An affine constraint over integer variables.
+///
+/// All comparison constructors normalize to the two canonical forms
+/// `e = 0` / `e >= 0`; strict comparisons use the integrality of the
+/// variables (`a < b` becomes `b - a - 1 >= 0`).
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::{Constraint, LinExpr};
+/// let i = LinExpr::var("i");
+/// let c = Constraint::le(i.clone(), LinExpr::constant(10));
+/// assert_eq!(c.to_string(), "-i + 10 >= 0");
+/// let s = Constraint::lt(i, LinExpr::constant(10));
+/// assert_eq!(s.to_string(), "-i + 9 >= 0");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Constraint {
+    expr: LinExpr,
+    rel: Rel,
+}
+
+impl Constraint {
+    /// `expr = 0`.
+    pub fn eq_zero(expr: LinExpr) -> Self {
+        Self { expr, rel: Rel::Eq }
+    }
+
+    /// `expr >= 0`.
+    pub fn geq_zero(expr: LinExpr) -> Self {
+        Self {
+            expr,
+            rel: Rel::Geq,
+        }
+    }
+
+    /// `a = b`.
+    pub fn eq(a: LinExpr, b: LinExpr) -> Self {
+        Self::eq_zero(a - b)
+    }
+
+    /// `a >= b`.
+    pub fn ge(a: LinExpr, b: LinExpr) -> Self {
+        Self::geq_zero(a - b)
+    }
+
+    /// `a <= b`.
+    pub fn le(a: LinExpr, b: LinExpr) -> Self {
+        Self::geq_zero(b - a)
+    }
+
+    /// `a > b` over the integers (`a >= b + 1`).
+    pub fn gt(a: LinExpr, b: LinExpr) -> Self {
+        Self::geq_zero(a - b - LinExpr::constant(1))
+    }
+
+    /// `a < b` over the integers (`a <= b - 1`).
+    pub fn lt(a: LinExpr, b: LinExpr) -> Self {
+        Self::geq_zero(b - a - LinExpr::constant(1))
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The relation kind.
+    pub fn rel(&self) -> Rel {
+        self.rel
+    }
+
+    /// True if this is an equality constraint.
+    pub fn is_eq(&self) -> bool {
+        self.rel == Rel::Eq
+    }
+
+    /// The negation of this constraint as a *disjunction* of constraints
+    /// (an equality negates to two strict alternatives).
+    ///
+    /// Over the integers, `¬(e >= 0)` is `-e - 1 >= 0`, and `¬(e = 0)` is
+    /// `e - 1 >= 0  ∨  -e - 1 >= 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shackle_polyhedra::{Constraint, LinExpr};
+    /// let c = Constraint::geq_zero(LinExpr::var("x"));
+    /// let neg = c.negate();
+    /// assert_eq!(neg.len(), 1);
+    /// assert_eq!(neg[0].to_string(), "-x - 1 >= 0");
+    /// ```
+    pub fn negate(&self) -> Vec<Constraint> {
+        let e = self.expr.clone();
+        match self.rel {
+            Rel::Geq => vec![Constraint::geq_zero(-e - LinExpr::constant(1))],
+            Rel::Eq => vec![
+                Constraint::geq_zero(e.clone() - LinExpr::constant(1)),
+                Constraint::geq_zero(-e - LinExpr::constant(1)),
+            ],
+        }
+    }
+
+    /// Whether the constraint is trivially true/false/contingent when its
+    /// expression is constant. Returns `None` if it mentions variables.
+    pub fn constant_truth(&self) -> Option<bool> {
+        if !self.expr.is_constant() {
+            return None;
+        }
+        let c = self.expr.constant_part();
+        Some(match self.rel {
+            Rel::Eq => c == 0,
+            Rel::Geq => c >= 0,
+        })
+    }
+
+    /// Evaluate the constraint under a total assignment.
+    pub fn eval(&self, env: &dyn Fn(&str) -> i64) -> bool {
+        let v = self.expr.eval(env);
+        match self.rel {
+            Rel::Eq => v == 0,
+            Rel::Geq => v >= 0,
+        }
+    }
+
+    /// Rename a variable in the constraint.
+    pub fn rename(&self, from: &str, to: &str) -> Constraint {
+        Constraint {
+            expr: self.expr.rename(from, to),
+            rel: self.rel,
+        }
+    }
+
+    /// Substitute an expression for a variable.
+    pub fn substitute(&self, name: &str, replacement: &LinExpr) -> Constraint {
+        Constraint {
+            expr: self.expr.substitute(name, replacement),
+            rel: self.rel,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rel {
+            Rel::Eq => write!(f, "{} = 0", self.expr),
+            Rel::Geq => write!(f, "{} >= 0", self.expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_normalize() {
+        let a = LinExpr::var("a");
+        let b = LinExpr::var("b");
+        assert_eq!(
+            Constraint::gt(a.clone(), b.clone()).to_string(),
+            "a - b - 1 >= 0"
+        );
+        assert_eq!(
+            Constraint::eq(a.clone(), b.clone()).to_string(),
+            "a - b = 0"
+        );
+        assert!(Constraint::eq(a.clone(), b).is_eq());
+        assert!(!Constraint::ge(a, LinExpr::zero()).is_eq());
+    }
+
+    #[test]
+    fn negation_roundtrip_on_integers() {
+        let c = Constraint::le(LinExpr::var("x"), LinExpr::constant(5));
+        let n = &c.negate()[0];
+        // x <= 5 negated is x >= 6
+        assert!(n.eval(&|_| 6));
+        assert!(!n.eval(&|_| 5));
+        assert!(c.eval(&|_| 5));
+    }
+
+    #[test]
+    fn eq_negation_has_two_branches() {
+        let c = Constraint::eq(LinExpr::var("x"), LinExpr::constant(3));
+        let n = c.negate();
+        assert_eq!(n.len(), 2);
+        assert!(n.iter().any(|b| b.eval(&|_| 4)));
+        assert!(n.iter().any(|b| b.eval(&|_| 2)));
+        assert!(!n.iter().any(|b| b.eval(&|_| 3)));
+    }
+
+    #[test]
+    fn constant_truth() {
+        assert_eq!(
+            Constraint::geq_zero(LinExpr::constant(-1)).constant_truth(),
+            Some(false)
+        );
+        assert_eq!(
+            Constraint::eq_zero(LinExpr::zero()).constant_truth(),
+            Some(true)
+        );
+        assert_eq!(
+            Constraint::geq_zero(LinExpr::var("x")).constant_truth(),
+            None
+        );
+    }
+}

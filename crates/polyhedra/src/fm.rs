@@ -1,0 +1,402 @@
+//! Fourier–Motzkin variable elimination on integer constraint systems.
+//!
+//! Elimination here always works over the *integers*: combined rows are
+//! GCD-tightened, and the caller can request either the **real shadow**
+//! (ordinary FM projection, an over-approximation of the integer
+//! projection) or the **dark shadow** (Pugh's under-approximation, whose
+//! integer points are guaranteed to lift to integer points of the
+//! original system).
+
+use crate::num::checked_combine;
+use crate::system::Row;
+use crate::{Rel, System};
+
+/// Which shadow to compute when eliminating a variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shadow {
+    /// Ordinary Fourier–Motzkin projection: contains every point whose
+    /// fiber is non-empty over the rationals (⊇ integer projection).
+    Real,
+    /// Pugh's dark shadow: every integer point lifts to an integer point
+    /// of the original system (⊆ integer projection).
+    Dark,
+}
+
+/// True if eliminating `idx` is *exact*: the real shadow equals the
+/// integer projection. This holds when every lower-bound coefficient or
+/// every upper-bound coefficient of the variable is 1 (and the variable
+/// appears in no equality).
+pub(crate) fn elimination_exact(sys: &System, idx: usize) -> bool {
+    let mut all_lower_unit = true;
+    let mut all_upper_unit = true;
+    for r in sys.rows() {
+        let c = r.coeffs[idx];
+        if c == 0 {
+            continue;
+        }
+        if r.rel == Rel::Eq {
+            return c.abs() == 1;
+        }
+        if c > 0 {
+            all_lower_unit &= c == 1;
+        } else {
+            all_upper_unit &= c == -1;
+        }
+    }
+    all_lower_unit || all_upper_unit
+}
+
+/// Classify the bounds on variable `idx`: (has lower, has upper),
+/// counting equalities as both.
+pub(crate) fn bound_profile(sys: &System, idx: usize) -> (usize, usize) {
+    let mut lo = 0;
+    let mut hi = 0;
+    for r in sys.rows() {
+        let c = r.coeffs[idx];
+        if c == 0 {
+            continue;
+        }
+        match r.rel {
+            Rel::Eq => {
+                lo += 1;
+                hi += 1;
+            }
+            Rel::Geq => {
+                if c > 0 {
+                    lo += 1;
+                } else {
+                    hi += 1;
+                }
+            }
+        }
+    }
+    (lo, hi)
+}
+
+/// Eliminate variable `idx` from the system, producing a system over the
+/// remaining variables.
+///
+/// Equalities involving the variable are first split into opposite
+/// inequalities (exact elimination of equalities is the Omega test's job;
+/// this function is the raw FM kernel).
+pub(crate) fn eliminate(sys: &System, idx: usize, shadow: Shadow) -> System {
+    let mut lowers: Vec<Row> = Vec::new();
+    let mut uppers: Vec<Row> = Vec::new();
+    let mut rest: Vec<Row> = Vec::new();
+    for r in sys.rows() {
+        let c = r.coeffs[idx];
+        if c == 0 {
+            rest.push(r.clone());
+            continue;
+        }
+        match r.rel {
+            Rel::Geq => {
+                if c > 0 {
+                    lowers.push(r.clone());
+                } else {
+                    uppers.push(r.clone());
+                }
+            }
+            Rel::Eq => {
+                let mut pos = r.clone();
+                pos.rel = Rel::Geq;
+                let mut neg = pos.clone();
+                for k in &mut neg.coeffs {
+                    *k = -*k;
+                }
+                neg.constant = -neg.constant;
+                if pos.coeffs[idx] > 0 {
+                    lowers.push(pos);
+                    uppers.push(neg);
+                } else {
+                    uppers.push(pos);
+                    lowers.push(neg);
+                }
+            }
+        }
+    }
+
+    let mut out = System::with_vars(sys.vars().iter().cloned());
+    if sys.is_contradictory() {
+        out.set_contradiction();
+        return out;
+    }
+    for r in rest {
+        out.push_row(r);
+    }
+    for lo in &lowers {
+        let a = lo.coeffs[idx]; // > 0
+        for up in &uppers {
+            let b = -up.coeffs[idx]; // > 0
+                                     // b*lo + a*up eliminates idx
+            let coeffs: Vec<i64> = lo
+                .coeffs
+                .iter()
+                .zip(&up.coeffs)
+                .map(|(&l, &u)| checked_combine(b, l, a, u))
+                .collect();
+            let mut constant = checked_combine(b, lo.constant, a, up.constant);
+            if shadow == Shadow::Dark {
+                // dark shadow: combined >= (a-1)(b-1)
+                constant -= (a - 1).checked_mul(b - 1).expect("dark shadow overflow");
+            }
+            debug_assert_eq!(coeffs[idx], 0);
+            out.push_row(Row {
+                coeffs,
+                constant,
+                rel: Rel::Geq,
+            });
+        }
+    }
+    out.drop_var_column(idx);
+    out
+}
+
+/// Project the system onto `keep`, eliminating every other variable.
+///
+/// Returns the projected system together with an exactness flag: when
+/// `true`, the result is exactly the set of integer points whose fiber
+/// contains an integer point; when `false`, it is an over-approximation
+/// (every integer point of the true projection is included, but some
+/// extra points may be too).
+///
+/// Equalities with a unit coefficient on an eliminated variable are used
+/// for exact substitution before falling back to FM.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::{Constraint, LinExpr, System};
+/// use shackle_polyhedra::fm::project_onto;
+/// let mut s = System::new();
+/// let (i, j, n) = (LinExpr::var("i"), LinExpr::var("j"), LinExpr::var("n"));
+/// s.add(Constraint::ge(j.clone(), LinExpr::constant(1)));
+/// s.add(Constraint::le(j.clone(), i.clone()));
+/// s.add(Constraint::le(i, n));
+/// let (p, exact) = project_onto(&s, &["j", "n"]);
+/// assert!(exact);
+/// // j <= i <= n collapses to j <= n
+/// assert!(p.eval(&|v| if v == "j" { 5 } else { 5 }));
+/// assert!(!p.eval(&|v| if v == "j" { 6 } else { 5 }));
+/// ```
+pub fn project_onto(sys: &System, keep: &[&str]) -> (System, bool) {
+    let mut s = sys.clone();
+    let mut exact = true;
+    loop {
+        if s.is_contradictory() {
+            return (s, true);
+        }
+        // find next variable to eliminate, preferring exact unit-equality
+        // substitutions, then exact FM, then inexact FM with lowest cost
+        let candidates: Vec<usize> = (0..s.vars().len())
+            .filter(|&i| !keep.contains(&s.vars()[i].as_str()))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        // unit equality substitution
+        let mut best: Option<(usize, usize, bool)> = None; // (idx, cost, exact)
+        let mut subst: Option<usize> = None;
+        for &idx in &candidates {
+            let (lo, hi) = bound_profile(&s, idx);
+            if lo == 0 && hi == 0 {
+                // unused: just drop
+                s.drop_var_column(idx);
+                subst = Some(usize::MAX);
+                break;
+            }
+            for r in s.rows() {
+                if r.rel == Rel::Eq && r.coeffs[idx].abs() == 1 {
+                    subst = Some(idx);
+                    break;
+                }
+            }
+            if subst.is_some() {
+                break;
+            }
+            let ex = elimination_exact(&s, idx);
+            let cost = lo * hi;
+            let entry = (idx, cost, ex);
+            best = Some(match best {
+                None => entry,
+                Some(b) => {
+                    if (ex, std::cmp::Reverse(cost)) > (b.2, std::cmp::Reverse(b.1)) {
+                        entry
+                    } else {
+                        b
+                    }
+                }
+            });
+            let _ = (lo, hi);
+        }
+        if let Some(idx) = subst {
+            if idx == usize::MAX {
+                continue; // dropped an unused column
+            }
+            // substitute from the equality with unit coefficient
+            let name = s.vars()[idx].clone();
+            let row = s
+                .rows()
+                .iter()
+                .find(|r| r.rel == Rel::Eq && r.coeffs[idx].abs() == 1)
+                .cloned()
+                .expect("unit equality vanished");
+            let sign = row.coeffs[idx];
+            // sign*x + e = 0  →  x = -sign*e
+            let mut e = crate::LinExpr::constant(row.constant);
+            for (k, &c) in row.coeffs.iter().enumerate() {
+                if k != idx {
+                    e.add_term(&s.vars()[k], c);
+                }
+            }
+            let replacement = e * (-sign);
+            s = s.substitute(&name, &replacement);
+            if let Some(i) = s.var_index(&name) {
+                s.drop_var_column(i);
+            }
+            continue;
+        }
+        let (idx, _cost, ex) = best.expect("no candidate chosen");
+        let real = eliminate(&s, idx, Shadow::Real);
+        if !ex {
+            // The syntactic unit-coefficient test failed, but the
+            // elimination may still be exact: compare the real and dark
+            // shadows semantically. Since dark ⊆ integer-projection ⊆
+            // real always holds, equality of the two shadows proves the
+            // real shadow is exactly the integer projection. This is
+            // what makes block-coordinate variables (window constraints
+            // `e ≤ w·z ≤ e + w − 1`) exactly projectable.
+            let dark = eliminate(&s, idx, Shadow::Dark);
+            let real_in_dark = if dark.is_contradictory() {
+                // equal only if the real shadow is empty too
+                !real.is_integer_feasible()
+            } else {
+                dark.constraints()
+                    .iter()
+                    .all(|c| crate::simplify::implies(&real, c))
+            };
+            if !real_in_dark {
+                exact = false;
+            }
+        }
+        s = real;
+    }
+    (s, exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constraint, LinExpr};
+
+    fn v(n: &str) -> LinExpr {
+        LinExpr::var(n)
+    }
+
+    #[test]
+    fn eliminate_simple_chain() {
+        // 1 <= x <= y <= 10, eliminate x → y >= 1 and y <= 10
+        let mut s = System::new();
+        s.add(Constraint::ge(v("x"), LinExpr::constant(1)));
+        s.add(Constraint::le(v("x"), v("y")));
+        s.add(Constraint::le(v("y"), LinExpr::constant(10)));
+        let idx = s.var_index("x").unwrap();
+        let e = eliminate(&s, idx, Shadow::Real);
+        assert!(e.var_index("x").is_none());
+        assert!(e.eval(&|_| 1));
+        assert!(e.eval(&|_| 10));
+        assert!(!e.eval(&|_| 0));
+        assert!(!e.eval(&|_| 11));
+    }
+
+    #[test]
+    fn dark_shadow_is_tighter() {
+        // 2x >= y and 3x <= n: real shadow 3y <= 2n;
+        // dark shadow subtracts (2-1)(3-1)=2 from the combination.
+        let mut s = System::new();
+        s.add(Constraint::geq_zero(v("x") * 2 - v("y")));
+        s.add(Constraint::geq_zero(v("n") - v("x") * 3));
+        let idx = s.var_index("x").unwrap();
+        let real = eliminate(&s, idx, Shadow::Real);
+        let dark = eliminate(&s, idx, Shadow::Dark);
+        // Soundness on a grid: every dark-shadow point lifts to an
+        // integer x, and every point with an integer x is in the real
+        // shadow.
+        for y in -6i64..=6 {
+            for n in -6i64..=6 {
+                let env = move |name: &str| if name == "y" { y } else { n };
+                let has_integer_x = (-20..=20).any(|x: i64| 2 * x >= y && 3 * x <= n);
+                if dark.eval(&env) {
+                    assert!(has_integer_x, "dark unsound at y={y} n={n}");
+                }
+                if has_integer_x {
+                    assert!(real.eval(&env), "real too small at y={y} n={n}");
+                }
+            }
+        }
+        // point y=3, n=5: real: 9 <= 10 ok; integer x: 2x>=3 → x>=2;
+        // 3x<=5 → x<=1 → none. dark must reject.
+        let env2 = |name: &str| match name {
+            "y" => 3,
+            _ => 5,
+        };
+        assert!(real.eval(&env2));
+        assert!(!dark.eval(&env2));
+    }
+
+    #[test]
+    fn eliminate_unbounded_side_drops_rows() {
+        let mut s = System::new();
+        s.add(Constraint::ge(v("x"), v("y")));
+        let idx = s.var_index("x").unwrap();
+        let e = eliminate(&s, idx, Shadow::Real);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn equality_split_in_fm() {
+        // x = y and x <= 5 → y <= 5
+        let mut s = System::new();
+        s.add(Constraint::eq(v("x"), v("y")));
+        s.add(Constraint::le(v("x"), LinExpr::constant(5)));
+        let idx = s.var_index("x").unwrap();
+        let e = eliminate(&s, idx, Shadow::Real);
+        assert!(e.eval(&|_| 5));
+        assert!(!e.eval(&|_| 6));
+    }
+
+    #[test]
+    fn project_keeps_params() {
+        let mut s = System::new();
+        s.add(Constraint::ge(v("i"), LinExpr::constant(1)));
+        s.add(Constraint::le(v("i"), v("n")));
+        let (p, exact) = project_onto(&s, &["n"]);
+        assert!(exact);
+        assert!(p.eval(&|_| 1));
+        assert!(!p.eval(&|_| 0)); // n >= 1 required
+    }
+
+    #[test]
+    fn project_via_unit_equality() {
+        // k = j + 1, 1 <= k <= n : project out k
+        let mut s = System::new();
+        s.add(Constraint::eq(v("k"), v("j") + LinExpr::constant(1)));
+        s.add(Constraint::ge(v("k"), LinExpr::constant(1)));
+        s.add(Constraint::le(v("k"), v("n")));
+        let (p, exact) = project_onto(&s, &["j", "n"]);
+        assert!(exact);
+        // j+1 <= n
+        assert!(p.eval(&|x| if x == "j" { 4 } else { 5 }));
+        assert!(!p.eval(&|_| 5));
+    }
+
+    #[test]
+    fn bound_profile_counts() {
+        let mut s = System::new();
+        s.add(Constraint::ge(v("x"), LinExpr::constant(1)));
+        s.add(Constraint::le(v("x"), LinExpr::constant(9)));
+        s.add(Constraint::eq(v("y"), v("x")));
+        let ix = s.var_index("x").unwrap();
+        assert_eq!(bound_profile(&s, ix), (2, 2));
+    }
+}

@@ -1,0 +1,182 @@
+//! Lexicographic-order constraints as disjunctions of conjunctive
+//! systems.
+//!
+//! Both "blocks visited in the wrong order" (the legality test of the
+//! paper's §5.1) and "instance *s* precedes instance *t* in program
+//! order" are lexicographic comparisons of integer vectors. Over affine
+//! constraints a strict lexicographic comparison is a *disjunction* — one
+//! disjunct per position that can be the first to differ — so these
+//! helpers return `Vec<System>`; a query holds iff any disjunct is
+//! feasible in context.
+
+use crate::{Constraint, LinExpr, System};
+
+/// Per-dimension traversal direction for block orders.
+///
+/// `Decreasing` models the paper's §8 remark that for codes like
+/// triangular back-solve the blocks must be walked "bottom to top or
+/// right to left" (the data-centric analogue of loop reversal).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Smaller coordinates are visited first (the common case).
+    #[default]
+    Increasing,
+    /// Larger coordinates are visited first.
+    Decreasing,
+}
+
+/// Systems whose union expresses `a ≺ b` in lexicographic order, with an
+/// optional per-dimension direction (default increasing).
+///
+/// Disjunct `k` states: `a[i] = b[i]` for `i < k` and `a[k]` strictly
+/// precedes `b[k]` in dimension `k`'s direction.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths, or if `dirs` is
+/// non-empty and its length differs.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::lex::{lex_lt, Direction};
+/// use shackle_polyhedra::LinExpr;
+/// let a = [LinExpr::var("a1"), LinExpr::var("a2")];
+/// let b = [LinExpr::var("b1"), LinExpr::var("b2")];
+/// let d = lex_lt(&a, &b, &[]);
+/// assert_eq!(d.len(), 2);
+/// // (1,5) < (2,0) via the first disjunct
+/// let env = |v: &str| match v { "a1" => 1, "a2" => 5, "b1" => 2, _ => 0 };
+/// assert!(d.iter().any(|s| s.eval(&env)));
+/// ```
+pub fn lex_lt(a: &[LinExpr], b: &[LinExpr], dirs: &[Direction]) -> Vec<System> {
+    assert_eq!(a.len(), b.len(), "lex_lt: mismatched vector lengths");
+    if !dirs.is_empty() {
+        assert_eq!(a.len(), dirs.len(), "lex_lt: mismatched direction count");
+    }
+    let dir = |k: usize| dirs.get(k).copied().unwrap_or_default();
+    let mut out = Vec::with_capacity(a.len());
+    for k in 0..a.len() {
+        let mut sys = System::new();
+        for i in 0..k {
+            sys.add(Constraint::eq(a[i].clone(), b[i].clone()));
+        }
+        match dir(k) {
+            Direction::Increasing => sys.add(Constraint::lt(a[k].clone(), b[k].clone())),
+            Direction::Decreasing => sys.add(Constraint::gt(a[k].clone(), b[k].clone())),
+        }
+        out.push(sys);
+    }
+    out
+}
+
+/// Systems whose union expresses `a ⪯ b` (strictly-before or equal):
+/// the [`lex_lt`] disjuncts plus full equality.
+pub fn lex_le(a: &[LinExpr], b: &[LinExpr], dirs: &[Direction]) -> Vec<System> {
+    let mut out = lex_lt(a, b, dirs);
+    let mut eq = System::new();
+    for (x, y) in a.iter().zip(b) {
+        eq.add(Constraint::eq(x.clone(), y.clone()));
+    }
+    out.push(eq);
+    out
+}
+
+/// Is any disjunct feasible when conjoined with `context`?
+///
+/// This is the workhorse query of the legality test: "does there exist a
+/// dependent instance pair whose blocks are visited in the wrong order".
+pub fn any_feasible_with(disjuncts: &[System], context: &System) -> bool {
+    disjuncts
+        .iter()
+        .any(|d| context.and(d).is_integer_feasible())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exprs(names: &[&str]) -> Vec<LinExpr> {
+        names.iter().map(|n| LinExpr::var(*n)).collect()
+    }
+
+    fn holds(disjuncts: &[System], env: &dyn Fn(&str) -> i64) -> bool {
+        disjuncts.iter().any(|s| s.eval(env))
+    }
+
+    #[test]
+    fn lex_lt_semantics_exhaustive() {
+        let a = exprs(&["a1", "a2"]);
+        let b = exprs(&["b1", "b2"]);
+        let d = lex_lt(&a, &b, &[]);
+        for a1 in 0..3 {
+            for a2 in 0..3 {
+                for b1 in 0..3 {
+                    for b2 in 0..3 {
+                        let env = move |v: &str| match v {
+                            "a1" => a1,
+                            "a2" => a2,
+                            "b1" => b1,
+                            _ => b2,
+                        };
+                        let expect = (a1, a2) < (b1, b2);
+                        assert_eq!(holds(&d, &env), expect, "{:?}", (a1, a2, b1, b2));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lex_le_includes_equality() {
+        let a = exprs(&["a1"]);
+        let b = exprs(&["b1"]);
+        let d = lex_le(&a, &b, &[]);
+        assert!(holds(&d, &|_| 4)); // equal vectors
+    }
+
+    #[test]
+    fn reversed_dimension() {
+        let a = exprs(&["a1"]);
+        let b = exprs(&["b1"]);
+        let d = lex_lt(&a, &b, &[Direction::Decreasing]);
+        // with a decreasing first dimension, 5 precedes 3
+        let env = |v: &str| if v == "a1" { 5 } else { 3 };
+        assert!(holds(&d, &env));
+        let env2 = |v: &str| if v == "a1" { 3 } else { 5 };
+        assert!(!holds(&d, &env2));
+    }
+
+    #[test]
+    fn mixed_directions() {
+        let a = exprs(&["a1", "a2"]);
+        let b = exprs(&["b1", "b2"]);
+        let d = lex_lt(&a, &b, &[Direction::Increasing, Direction::Decreasing]);
+        // equal first coordinate, second compared reversed
+        let env = |v: &str| match v {
+            "a1" | "b1" => 1,
+            "a2" => 9,
+            _ => 2,
+        };
+        assert!(holds(&d, &env));
+    }
+
+    #[test]
+    fn empty_vectors_never_less() {
+        let d = lex_lt(&[], &[], &[]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn feasibility_query() {
+        let a = exprs(&["a1"]);
+        let b = exprs(&["b1"]);
+        let d = lex_lt(&a, &b, &[]);
+        let mut ctx = System::new();
+        ctx.add(Constraint::eq(LinExpr::var("a1"), LinExpr::var("b1")));
+        assert!(!any_feasible_with(&d, &ctx));
+        let mut ctx2 = System::new();
+        ctx2.add(Constraint::ge(LinExpr::var("b1"), LinExpr::constant(0)));
+        assert!(any_feasible_with(&d, &ctx2));
+    }
+}

@@ -1,0 +1,93 @@
+//! Exact integer linear arithmetic for data-centric blocking.
+//!
+//! This crate is the polyhedral substrate of the `data-shackle` workspace,
+//! a reproduction of *Kodukula, Ahmed & Pingali, "Data-centric Multi-level
+//! Blocking" (PLDI 1997)*. It plays the role the **Omega calculator**
+//! plays in the paper: deciding whether conjunctions of affine constraints
+//! have integer solutions (the legality test of Theorem 1) and
+//! simplifying guard conditions into loop bounds (the step from the
+//! paper's Figure 5 to Figure 6).
+//!
+//! # Contents
+//!
+//! * [`LinExpr`] — sparse affine expressions over named variables.
+//! * [`Constraint`] / [`System`] — affine constraints and conjunctions
+//!   thereof (integer polyhedra).
+//! * [`fm`] — Fourier–Motzkin elimination and projection with real/dark
+//!   shadows.
+//! * [`omega`] — the Omega test (Pugh 1992): exact integer feasibility.
+//! * [`simplify`] — redundancy removal and `gist`.
+//! * [`lex`] — lexicographic-order disjunction builders used by both the
+//!   legality test and dependence analysis.
+//!
+//! # Example: a legality-style query
+//!
+//! The paper's §5.1 example asks whether a dependence can connect two
+//! instances whose blocks are visited in the wrong order. The query
+//! bottoms out in integer feasibility:
+//!
+//! ```
+//! use shackle_polyhedra::{Constraint, LinExpr, System};
+//!
+//! let j = LinExpr::var("j");
+//! let b = LinExpr::var("b");
+//! let mut sys = System::new();
+//! // j is in block b of width 25 (1-based): 25b - 24 <= j <= 25b
+//! sys.add(Constraint::ge(j.clone(), b.clone() * 25 - LinExpr::constant(24)));
+//! sys.add(Constraint::le(j.clone(), b.clone() * 25));
+//! // ... and also in block b+1 — impossible:
+//! let b1 = b + LinExpr::constant(1);
+//! sys.add(Constraint::ge(j.clone(), b1.clone() * 25 - LinExpr::constant(24)));
+//! sys.add(Constraint::le(j, b1 * 25));
+//! assert!(!sys.is_integer_feasible());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod expr;
+mod system;
+
+pub mod fm;
+pub mod lex;
+pub mod num;
+pub mod omega;
+pub mod simplify;
+
+pub use constraint::{Constraint, Rel};
+pub use expr::LinExpr;
+pub use system::System;
+
+impl System {
+    /// Decide integer feasibility with the Omega test.
+    ///
+    /// See [`omega::is_integer_feasible`].
+    pub fn is_integer_feasible(&self) -> bool {
+        omega::is_integer_feasible(self)
+    }
+
+    /// Find a concrete integer solution with all variables in
+    /// `[-bound, bound]` (see [`omega::find_point`]).
+    pub fn find_point(&self, bound: i64) -> Option<Vec<(String, i64)>> {
+        omega::find_point(self, bound)
+    }
+
+    /// Project onto the named variables (see [`fm::project_onto`]);
+    /// returns the projection and whether it is exact.
+    pub fn project_onto(&self, keep: &[&str]) -> (System, bool) {
+        fm::project_onto(self, keep)
+    }
+
+    /// Remove constraints implied by the others
+    /// (see [`simplify::remove_redundant`]).
+    pub fn simplified(&self) -> System {
+        simplify::remove_redundant(self)
+    }
+
+    /// Constraints not already implied by `context`
+    /// (see [`simplify::gist`]).
+    pub fn gist(&self, context: &System) -> System {
+        simplify::gist(self, context)
+    }
+}

@@ -1,0 +1,185 @@
+//! Small exact integer helpers used throughout the crate.
+//!
+//! All polyhedral algorithms in this crate work over `i64` with explicit
+//! overflow-checked combination steps. The systems arising from data
+//! shackling are tiny (tens of variables, coefficients bounded by block
+//! sizes), so `i64` leaves an enormous safety margin; nevertheless every
+//! multiplication that combines user-supplied coefficients goes through
+//! [`checked_combine`] so that an overflow aborts loudly instead of
+//! producing a wrong legality verdict.
+
+/// Greatest common divisor of two integers (always non-negative).
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::num::gcd;
+/// assert_eq!(gcd(12, -18), 6);
+/// assert_eq!(gcd(0, 5), 5);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// Least common multiple of two integers (always non-negative).
+///
+/// # Panics
+///
+/// Panics on overflow.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::num::lcm;
+/// assert_eq!(lcm(4, 6), 12);
+/// ```
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// GCD of a slice, ignoring zeros; returns 0 for an all-zero slice.
+pub fn gcd_slice(xs: &[i64]) -> i64 {
+    xs.iter().fold(0, |g, &x| gcd(g, x))
+}
+
+/// Floor division: largest `q` with `q * b <= a`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::num::floor_div;
+/// assert_eq!(floor_div(7, 2), 3);
+/// assert_eq!(floor_div(-7, 2), -4);
+/// assert_eq!(floor_div(7, -2), -4);
+/// ```
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "floor_div by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division: smallest `q` with `q * b >= a` (for `b > 0`).
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::num::ceil_div;
+/// assert_eq!(ceil_div(7, 2), 4);
+/// assert_eq!(ceil_div(-7, 2), -3);
+/// ```
+pub fn ceil_div(a: i64, b: i64) -> i64 {
+    -floor_div(-a, b)
+}
+
+/// Symmetric ("hat") modulo from the Omega test: the unique value
+/// congruent to `a` mod `m` that lies in `(-m/2, m/2]`.
+///
+/// Pugh writes this as `a mod̂ m`. It is the key to the exact integer
+/// equality-elimination step: substituting with symmetric residues shrinks
+/// coefficients geometrically.
+///
+/// # Panics
+///
+/// Panics if `m <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::num::mod_hat;
+/// assert_eq!(mod_hat(5, 3), -1); // 5 = 2*3 - 1
+/// assert_eq!(mod_hat(4, 3), 1);
+/// assert_eq!(mod_hat(3, 2), 1);
+/// assert_eq!(mod_hat(-3, 2), 1);
+/// ```
+pub fn mod_hat(a: i64, m: i64) -> i64 {
+    assert!(m > 0, "mod_hat with non-positive modulus");
+    let r = a.rem_euclid(m);
+    if 2 * r > m {
+        r - m
+    } else {
+        r
+    }
+}
+
+/// `a * b + c * d` with overflow checking, used when combining two
+/// constraints in Fourier–Motzkin elimination.
+///
+/// # Panics
+///
+/// Panics on overflow.
+pub fn checked_combine(a: i64, b: i64, c: i64, d: i64) -> i64 {
+    a.checked_mul(b)
+        .and_then(|x| c.checked_mul(d).and_then(|y| x.checked_add(y)))
+        .expect("integer overflow combining constraints")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-4, -6), 2);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd_slice(&[0, 6, 9]), 3);
+        assert_eq!(gcd_slice(&[]), 0);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(0, 3), 0);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn floor_ceil_consistency() {
+        for a in -20..=20 {
+            for b in [-7i64, -2, -1, 1, 2, 7] {
+                // f = floor(a/b) iff f <= a/b < f+1, i.e. (sign-aware)
+                let f = floor_div(a, b);
+                let expected = (a as f64 / b as f64).floor() as i64;
+                assert_eq!(f, expected, "floor {a}/{b}");
+                if b > 0 {
+                    let c = ceil_div(a, b);
+                    let expected_c = (a as f64 / b as f64).ceil() as i64;
+                    assert_eq!(c, expected_c, "ceil {a}/{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_hat_range_and_congruence() {
+        for a in -30..=30 {
+            for m in 1..=9 {
+                let r = mod_hat(a, m);
+                assert!(2 * r <= m && 2 * r > -m, "range {a} mod^ {m} = {r}");
+                assert_eq!((a - r).rem_euclid(m), 0, "congruence {a} mod^ {m}");
+            }
+        }
+    }
+}

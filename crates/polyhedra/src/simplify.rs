@@ -1,0 +1,194 @@
+//! Redundancy removal and `gist` — the "polyhedral algebra tool" role the
+//! paper delegates to the Omega calculator (§4.1: "the conditionals …
+//! can be simplified using any polyhedral algebra tool").
+
+use crate::{Constraint, System};
+
+/// Is constraint `c` implied by `sys` (over the integers)?
+///
+/// Decided exactly: `sys ⊨ c` iff `sys ∧ ¬c` has no integer solution
+/// (the negation of an equality is a disjunction, so both branches must
+/// be infeasible).
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::{Constraint, LinExpr, System};
+/// use shackle_polyhedra::simplify::implies;
+/// let mut s = System::new();
+/// s.add(Constraint::ge(LinExpr::var("x"), LinExpr::constant(5)));
+/// assert!(implies(&s, &Constraint::ge(LinExpr::var("x"), LinExpr::constant(3))));
+/// assert!(!implies(&s, &Constraint::ge(LinExpr::var("x"), LinExpr::constant(6))));
+/// ```
+pub fn implies(sys: &System, c: &Constraint) -> bool {
+    c.negate().iter().all(|branch| {
+        let mut probe = sys.clone();
+        probe.add(branch.clone());
+        !probe.is_integer_feasible()
+    })
+}
+
+/// Remove constraints that are implied by the remaining ones.
+///
+/// Greedy and order-stable: constraints are considered in reverse
+/// insertion order so that "earlier" constraints (typically loop bounds)
+/// survive in preference to derived ones.
+pub fn remove_redundant(sys: &System) -> System {
+    if sys.is_contradictory() || !sys.is_integer_feasible() {
+        // an infeasible system must stay infeasible: the greedy loop
+        // below would otherwise vacuously drop every constraint
+        return contradiction_like(sys);
+    }
+    let mut cons = sys.constraints();
+    let mut i = cons.len();
+    while i > 0 {
+        i -= 1;
+        let candidate = cons[i].clone();
+        let rest: System = cons
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        if implies(&rest, &candidate) {
+            cons.remove(i);
+        }
+    }
+    // preserve the full variable universe
+    let mut out = System::with_vars(sys.vars().iter().cloned());
+    out.add_all(cons);
+    out
+}
+
+/// A system with the same variables that is unsatisfiable.
+fn contradiction_like(sys: &System) -> System {
+    let mut out = System::with_vars(sys.vars().iter().cloned());
+    out.add(Constraint::geq_zero(crate::LinExpr::constant(-1)));
+    out
+}
+
+/// `gist(sys, context)`: the constraints of `sys` that are *not* implied
+/// when `context` is known to hold — the minimal guard to test inside a
+/// region where `context` is already guaranteed.
+///
+/// The result `g` satisfies: `g ∧ context` has the same integer points as
+/// `sys ∧ context`.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::{Constraint, LinExpr, System};
+/// use shackle_polyhedra::simplify::gist;
+/// let x = || LinExpr::var("x");
+/// let mut sys = System::new();
+/// sys.add(Constraint::ge(x(), LinExpr::constant(1)));
+/// sys.add(Constraint::le(x(), LinExpr::constant(10)));
+/// let mut ctx = System::new();
+/// ctx.add(Constraint::ge(x(), LinExpr::constant(0)));
+/// ctx.add(Constraint::le(x(), LinExpr::constant(10)));
+/// let g = gist(&sys, &ctx);
+/// // only the lower bound remains to be checked
+/// assert_eq!(g.constraints().len(), 1);
+/// ```
+pub fn gist(sys: &System, context: &System) -> System {
+    if !sys.and(context).is_integer_feasible() {
+        // `g ∧ context` must stay empty; return a canonical false
+        return contradiction_like(sys);
+    }
+    let mut kept: Vec<Constraint> = sys.constraints();
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        let candidate = kept[i].clone();
+        let mut rest: System = kept
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        rest = rest.and(context);
+        if implies(&rest, &candidate) {
+            kept.remove(i);
+        }
+    }
+    let mut out = System::with_vars(sys.vars().iter().cloned());
+    out.add_all(kept);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+
+    fn v(n: &str) -> LinExpr {
+        LinExpr::var(n)
+    }
+
+    fn c(k: i64) -> LinExpr {
+        LinExpr::constant(k)
+    }
+
+    #[test]
+    fn redundant_bound_removed() {
+        let mut s = System::new();
+        s.add(Constraint::ge(v("x"), c(5)));
+        s.add(Constraint::ge(v("x"), c(3))); // implied
+        let r = remove_redundant(&s);
+        assert_eq!(r.constraints().len(), 1);
+        assert_eq!(r.constraints()[0].to_string(), "x - 5 >= 0");
+    }
+
+    #[test]
+    fn nothing_removed_when_independent() {
+        let mut s = System::new();
+        s.add(Constraint::ge(v("x"), c(1)));
+        s.add(Constraint::le(v("x"), v("n")));
+        let r = remove_redundant(&s);
+        assert_eq!(r.constraints().len(), 2);
+    }
+
+    #[test]
+    fn equality_implication() {
+        let mut s = System::new();
+        s.add(Constraint::eq(v("x"), c(4)));
+        assert!(implies(&s, &Constraint::ge(v("x"), c(4))));
+        assert!(implies(&s, &Constraint::le(v("x"), c(4))));
+        assert!(implies(&s, &Constraint::eq(v("x"), c(4))));
+        assert!(!implies(&s, &Constraint::eq(v("x"), c(5))));
+    }
+
+    #[test]
+    fn gist_against_loop_bounds() {
+        // Inside a loop 1 <= i <= n, the guard 25b-24 <= i <= 25b
+        // gists to itself; but a guard i >= 0 gists away entirely.
+        let mut ctx = System::new();
+        ctx.add(Constraint::ge(v("i"), c(1)));
+        ctx.add(Constraint::le(v("i"), v("n")));
+        let mut guard = System::new();
+        guard.add(Constraint::ge(v("i"), c(0)));
+        guard.add(Constraint::ge(v("i"), v("b") * 25 - c(24)));
+        let g = gist(&guard, &ctx);
+        assert_eq!(g.constraints().len(), 1);
+        assert!(g.constraints()[0].to_string().contains('b'));
+    }
+
+    #[test]
+    fn gist_preserves_conjunction_semantics() {
+        let mut sys = System::new();
+        sys.add(Constraint::ge(v("x"), c(2)));
+        sys.add(Constraint::le(v("x"), c(8)));
+        let mut ctx = System::new();
+        ctx.add(Constraint::ge(v("x"), c(0)));
+        ctx.add(Constraint::le(v("x"), c(8)));
+        let g = gist(&sys, &ctx);
+        for x in -2..=12 {
+            let env = |_: &str| x;
+            assert_eq!(
+                g.eval(&env) && ctx.eval(&env),
+                sys.eval(&env) && ctx.eval(&env),
+                "x = {x}"
+            );
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Conjunctions of affine constraints over named integer variables.
+
+use crate::num::{floor_div, gcd_slice};
+use crate::{Constraint, LinExpr, Rel};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A dense row: `coeffs · vars + constant (= | >=) 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Row {
+    pub coeffs: Vec<i64>,
+    pub constant: i64,
+    pub rel: Rel,
+}
+
+impl Row {
+    pub fn is_trivially_true(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+            && match self.rel {
+                Rel::Eq => self.constant == 0,
+                Rel::Geq => self.constant >= 0,
+            }
+    }
+
+    pub fn is_trivially_false(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+            && match self.rel {
+                Rel::Eq => self.constant != 0,
+                Rel::Geq => self.constant < 0,
+            }
+    }
+}
+
+/// A conjunction of affine constraints — an integer polyhedron.
+///
+/// Variables are identified by name and shared structurally: conjoining
+/// two systems aligns variables by name. All variables are interpreted as
+/// ranging over the integers.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::{Constraint, LinExpr, System};
+/// let mut s = System::new();
+/// let x = LinExpr::var("x");
+/// s.add(Constraint::ge(x.clone(), LinExpr::constant(1)));
+/// s.add(Constraint::le(x, LinExpr::constant(10)));
+/// assert!(s.is_integer_feasible());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct System {
+    vars: Vec<String>,
+    rows: Vec<Row>,
+    contradiction: bool,
+}
+
+impl Default for System {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl System {
+    /// An empty (universally true) system.
+    pub fn new() -> Self {
+        System {
+            vars: Vec::new(),
+            rows: Vec::new(),
+            contradiction: false,
+        }
+    }
+
+    /// A system over the given variables with no constraints yet.
+    pub fn with_vars<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut s = Self::new();
+        for n in names {
+            s.ensure_var(&n.into());
+        }
+        s
+    }
+
+    /// Build a system from an iterator of constraints.
+    pub fn from_constraints<I>(cons: I) -> Self
+    where
+        I: IntoIterator<Item = Constraint>,
+    {
+        let mut s = Self::new();
+        for c in cons {
+            s.add(c);
+        }
+        s
+    }
+
+    /// The variables of the system, in insertion order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Number of constraints (rows).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the system has no constraints and no recorded
+    /// contradiction.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && !self.contradiction
+    }
+
+    /// True if a trivially false constraint was added.
+    pub fn is_contradictory(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Index of a variable, adding it if new.
+    pub(crate) fn ensure_var(&mut self, name: &str) -> usize {
+        if let Some(i) = self.vars.iter().position(|v| v == name) {
+            i
+        } else {
+            self.vars.push(name.to_string());
+            for r in &mut self.rows {
+                r.coeffs.push(0);
+            }
+            self.vars.len() - 1
+        }
+    }
+
+    /// Index of a variable if present.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Add a constraint (normalizing by the GCD of its coefficients; for
+    /// inequalities the constant is floor-tightened, which is sound over
+    /// the integers).
+    pub fn add(&mut self, c: Constraint) {
+        if let Some(t) = c.constant_truth() {
+            if !t {
+                self.contradiction = true;
+            }
+            return;
+        }
+        let mut coeffs = vec![0i64; self.vars.len()];
+        for (v, k) in c.expr().iter() {
+            let i = self.ensure_var(v);
+            if coeffs.len() < self.vars.len() {
+                coeffs.resize(self.vars.len(), 0);
+            }
+            coeffs[i] = k;
+        }
+        coeffs.resize(self.vars.len(), 0);
+        let row = Row {
+            coeffs,
+            constant: c.expr().constant_part(),
+            rel: c.rel(),
+        };
+        self.push_row(row);
+    }
+
+    /// Add several constraints.
+    pub fn add_all<I: IntoIterator<Item = Constraint>>(&mut self, cons: I) {
+        for c in cons {
+            self.add(c);
+        }
+    }
+
+    pub(crate) fn push_row(&mut self, mut row: Row) {
+        debug_assert_eq!(row.coeffs.len(), self.vars.len());
+        let g = gcd_slice(&row.coeffs);
+        if g == 0 {
+            // constant row
+            let ok = match row.rel {
+                Rel::Eq => row.constant == 0,
+                Rel::Geq => row.constant >= 0,
+            };
+            if !ok {
+                self.contradiction = true;
+            }
+            return;
+        }
+        if g > 1 {
+            match row.rel {
+                Rel::Eq => {
+                    if row.constant % g != 0 {
+                        // e.g. 2x + 1 = 0 has no integer solution
+                        self.contradiction = true;
+                        return;
+                    }
+                    row.constant /= g;
+                }
+                Rel::Geq => {
+                    // gcd-tighten: g·e + c >= 0  ⇔  e >= ceil(-c/g)
+                    row.constant = floor_div(row.constant, g);
+                }
+            }
+            for c in &mut row.coeffs {
+                *c /= g;
+            }
+        }
+        if row.is_trivially_false() {
+            self.contradiction = true;
+            return;
+        }
+        if row.is_trivially_true() {
+            return;
+        }
+        if !self.rows.contains(&row) {
+            self.rows.push(row);
+        }
+    }
+
+    /// Conjoin with another system (aligning variables by name).
+    pub fn and(&self, other: &System) -> System {
+        let mut out = self.clone();
+        if other.contradiction {
+            out.contradiction = true;
+            return out;
+        }
+        for c in other.constraints() {
+            out.add(c);
+        }
+        out
+    }
+
+    /// Convert rows back to sparse constraints.
+    pub fn constraints(&self) -> Vec<Constraint> {
+        self.rows
+            .iter()
+            .map(|r| {
+                let mut e = LinExpr::constant(r.constant);
+                for (i, &c) in r.coeffs.iter().enumerate() {
+                    e.add_term(&self.vars[i], c);
+                }
+                match r.rel {
+                    Rel::Eq => Constraint::eq_zero(e),
+                    Rel::Geq => Constraint::geq_zero(e),
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub(crate) fn set_contradiction(&mut self) {
+        self.contradiction = true;
+    }
+
+    /// Drop a variable column entirely (the caller guarantees no row uses
+    /// it).
+    pub(crate) fn drop_var_column(&mut self, idx: usize) {
+        debug_assert!(self.rows.iter().all(|r| r.coeffs[idx] == 0));
+        self.vars.remove(idx);
+        for r in &mut self.rows {
+            r.coeffs.remove(idx);
+        }
+    }
+
+    /// Evaluate the whole system under a total assignment.
+    pub fn eval(&self, env: &dyn Fn(&str) -> i64) -> bool {
+        if self.contradiction {
+            return false;
+        }
+        self.constraints().iter().all(|c| c.eval(env))
+    }
+
+    /// Rename a variable throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is already a variable of the system.
+    pub fn rename_var(&mut self, from: &str, to: &str) {
+        if let Some(_i) = self.var_index(from) {
+            assert!(
+                self.var_index(to).is_none(),
+                "rename_var would merge {from} into existing {to}"
+            );
+            for v in &mut self.vars {
+                if v == from {
+                    *v = to.to_string();
+                }
+            }
+        }
+    }
+
+    /// Apply a renaming function to all variables at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the renaming is not injective on this system's variables.
+    pub fn rename_all(&mut self, f: &dyn Fn(&str) -> String) {
+        let new: Vec<String> = self.vars.iter().map(|v| f(v)).collect();
+        let distinct: BTreeSet<&String> = new.iter().collect();
+        assert_eq!(distinct.len(), new.len(), "rename_all must be injective");
+        self.vars = new;
+    }
+
+    /// Substitute an affine expression for a variable (exact; used when a
+    /// variable is defined by an equality with unit coefficient).
+    pub fn substitute(&self, name: &str, replacement: &LinExpr) -> System {
+        let mut out = System::new();
+        // keep variable universe stable (minus `name`, plus replacement's)
+        for v in &self.vars {
+            if v != name {
+                out.ensure_var(v);
+            }
+        }
+        for v in replacement.vars() {
+            out.ensure_var(v);
+        }
+        if self.contradiction {
+            out.contradiction = true;
+            return out;
+        }
+        for c in self.constraints() {
+            out.add(c.substitute(name, replacement));
+        }
+        out
+    }
+
+    /// The variables that actually occur with non-zero coefficient.
+    pub fn used_vars(&self) -> Vec<String> {
+        let mut used = Vec::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            if self.rows.iter().any(|r| r.coeffs[i] != 0) {
+                used.push(v.clone());
+            }
+        }
+        used
+    }
+
+    /// Brute-force enumeration of all solutions with every variable in
+    /// `[lo, hi]`. Only for tests on tiny boxes.
+    pub fn enumerate_box(&self, lo: i64, hi: i64) -> Vec<Vec<i64>> {
+        let n = self.vars.len();
+        let mut out = Vec::new();
+        if self.contradiction {
+            return out;
+        }
+        let mut point = vec![lo; n];
+        'outer: loop {
+            let env = |v: &str| {
+                let i = self.var_index(v).unwrap();
+                point[i]
+            };
+            if self.eval(&env) {
+                out.push(point.clone());
+            }
+            // odometer
+            for i in 0..n {
+                if point[i] < hi {
+                    point[i] += 1;
+                    for p in point.iter_mut().take(i) {
+                        *p = lo;
+                    }
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        if n == 0 && self.rows.is_empty() && !self.contradiction {
+            // the empty system has the single empty solution (already
+            // pushed above by the first loop pass)
+        }
+        out
+    }
+}
+
+impl FromIterator<Constraint> for System {
+    fn from_iter<I: IntoIterator<Item = Constraint>>(iter: I) -> Self {
+        System::from_constraints(iter)
+    }
+}
+
+impl Extend<Constraint> for System {
+    fn extend<I: IntoIterator<Item = Constraint>>(&mut self, iter: I) {
+        self.add_all(iter);
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.contradiction {
+            return write!(f, "{{ false }}");
+        }
+        write!(f, "{{ ")?;
+        for (i, c) in self.constraints().iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> LinExpr {
+        LinExpr::var("x")
+    }
+
+    #[test]
+    fn add_and_normalize() {
+        let mut s = System::new();
+        s.add(Constraint::geq_zero(x() * 2 - LinExpr::constant(3)));
+        // 2x - 3 >= 0 tightens to x - 2 >= 0 (x >= ceil(3/2) = 2)
+        let cs = s.constraints();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].to_string(), "x - 2 >= 0");
+    }
+
+    #[test]
+    fn equality_divisibility_contradiction() {
+        let mut s = System::new();
+        s.add(Constraint::eq_zero(x() * 2 - LinExpr::constant(3)));
+        assert!(s.is_contradictory());
+    }
+
+    #[test]
+    fn trivial_rows() {
+        let mut s = System::new();
+        s.add(Constraint::geq_zero(LinExpr::constant(5)));
+        assert!(s.is_empty());
+        s.add(Constraint::geq_zero(LinExpr::constant(-1)));
+        assert!(s.is_contradictory());
+    }
+
+    #[test]
+    fn duplicate_rows_are_merged() {
+        let mut s = System::new();
+        s.add(Constraint::ge(x(), LinExpr::constant(1)));
+        s.add(Constraint::ge(x(), LinExpr::constant(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn and_aligns_vars_by_name() {
+        let mut a = System::new();
+        a.add(Constraint::ge(x(), LinExpr::constant(0)));
+        let mut b = System::new();
+        b.add(Constraint::le(LinExpr::var("y"), x()));
+        let c = a.and(&b);
+        assert_eq!(c.len(), 2);
+        assert!(c.eval(&|v| if v == "x" { 3 } else { 2 }));
+        assert!(!c.eval(&|v| if v == "x" { 3 } else { 4 }));
+    }
+
+    #[test]
+    fn substitute_eliminates() {
+        let mut s = System::new();
+        s.add(Constraint::le(x(), LinExpr::var("n")));
+        let t = s.substitute("x", &(LinExpr::var("j") + LinExpr::constant(1)));
+        assert!(t.var_index("x").is_none() || t.used_vars().iter().all(|v| v != "x"));
+        assert!(t.eval(&|v| match v {
+            "j" => 3,
+            "n" => 4,
+            _ => 0,
+        }));
+        assert!(!t.eval(&|v| match v {
+            "j" => 4,
+            "n" => 4,
+            _ => 0,
+        }));
+    }
+
+    #[test]
+    fn enumerate_box_small() {
+        let mut s = System::new();
+        s.add(Constraint::ge(x(), LinExpr::constant(1)));
+        s.add(Constraint::le(x(), LinExpr::constant(3)));
+        let sols = s.enumerate_box(0, 5);
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn display() {
+        let mut s = System::new();
+        s.add(Constraint::ge(x(), LinExpr::constant(1)));
+        assert_eq!(s.to_string(), "{ x - 1 >= 0 }");
+    }
+}

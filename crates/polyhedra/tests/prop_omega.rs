@@ -1,0 +1,160 @@
+//! Property tests for the exact integer machinery: the Omega test,
+//! projection, and simplification are checked against brute-force
+//! enumeration on small boxes.
+
+use proptest::prelude::*;
+use shackle_polyhedra::{Constraint, LinExpr, System};
+
+const BOX: i64 = 4;
+
+/// A random affine expression over x, y, z with small coefficients.
+fn lin_expr() -> impl Strategy<Value = LinExpr> {
+    (-3i64..=3, -3i64..=3, -3i64..=3, -6i64..=6).prop_map(|(a, b, c, k)| {
+        LinExpr::term("x", a) + LinExpr::term("y", b) + LinExpr::term("z", c) + LinExpr::constant(k)
+    })
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (lin_expr(), prop::bool::ANY).prop_map(|(e, eq)| {
+        if eq {
+            Constraint::eq_zero(e)
+        } else {
+            Constraint::geq_zero(e)
+        }
+    })
+}
+
+/// A random system of 1..5 constraints, boxed so brute force stays
+/// cheap.
+fn boxed_system() -> impl Strategy<Value = System> {
+    prop::collection::vec(constraint(), 1..5).prop_map(|cs| {
+        let mut s = System::from_constraints(cs);
+        for v in ["x", "y", "z"] {
+            s.add(Constraint::ge(LinExpr::var(v), LinExpr::constant(-BOX)));
+            s.add(Constraint::le(LinExpr::var(v), LinExpr::constant(BOX)));
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Omega test agrees with brute-force enumeration.
+    #[test]
+    fn omega_matches_brute_force(sys in boxed_system()) {
+        let brute = !sys.enumerate_box(-BOX, BOX).is_empty();
+        prop_assert_eq!(sys.is_integer_feasible(), brute, "system {}", sys);
+    }
+
+    /// Projection is sound: the projection of any solution satisfies
+    /// the projected system, and (when flagged exact) every point of
+    /// the projection lifts to a solution.
+    #[test]
+    fn projection_sound_and_exact(sys in boxed_system()) {
+        let (proj, exact) = sys.project_onto(&["x", "y"]);
+        // soundness: forget z from every solution
+        for sol in sys.enumerate_box(-BOX, BOX) {
+            let env = |v: &str| {
+                let i = sys.vars().iter().position(|n| n == v).unwrap();
+                sol[i]
+            };
+            prop_assert!(proj.eval(&env), "projection lost a solution of {}", sys);
+        }
+        if exact {
+            // completeness: each projected point has a z-witness
+            for xy in proj.enumerate_box(-BOX, BOX) {
+                let lookup = |v: &str| -> Option<i64> {
+                    proj.vars().iter().position(|n| n == v).map(|i| xy[i])
+                };
+                let lifted = (-BOX..=BOX).any(|z| {
+                    sys.eval(&|v: &str| {
+                        if v == "z" { z } else { lookup(v).unwrap_or(0) }
+                    })
+                });
+                prop_assert!(lifted, "inexactly flagged projection of {}", sys);
+            }
+        }
+    }
+
+    /// Removing redundant constraints preserves the solution set.
+    #[test]
+    fn simplify_preserves_solutions(sys in boxed_system()) {
+        let simplified = sys.simplified();
+        let a = sys.enumerate_box(-BOX, BOX);
+        // evaluate the simplified system on the same points and
+        // vice versa
+        for sol in &a {
+            let env = |v: &str| {
+                sys.vars().iter().position(|n| n == v).map(|i| sol[i]).unwrap_or(0)
+            };
+            prop_assert!(simplified.eval(&env));
+        }
+        for sol in simplified.enumerate_box(-BOX, BOX) {
+            let env = |v: &str| {
+                simplified
+                    .vars()
+                    .iter()
+                    .position(|n| n == v)
+                    .map(|i| sol[i])
+                    .unwrap_or(0)
+            };
+            prop_assert!(sys.eval(&env));
+        }
+    }
+
+    /// `gist` keeps `g ∧ ctx ≡ sys ∧ ctx`.
+    #[test]
+    fn gist_preserves_conjunction(sys in boxed_system(), ctx in boxed_system()) {
+        let g = sys.gist(&ctx);
+        let both = sys.and(&ctx);
+        let gc = g.and(&ctx);
+        // compare over the box on the union of variables
+        let vars = ["x", "y", "z"];
+        for x in -BOX..=BOX {
+            for y in -BOX..=BOX {
+                for z in -BOX..=BOX {
+                    let point = [x, y, z];
+                    let env = |v: &str| {
+                        vars.iter()
+                            .position(|n| *n == v)
+                            .map(|i| point[i])
+                            .unwrap_or(0)
+                    };
+                    prop_assert_eq!(both.eval(&env), gc.eval(&env), "at {:?}", point);
+                }
+            }
+        }
+    }
+
+    /// `find_point` returns a genuine solution whenever brute force
+    /// finds one in the same box.
+    #[test]
+    fn find_point_returns_solutions(sys in boxed_system()) {
+        let brute = sys.enumerate_box(-BOX, BOX);
+        match sys.find_point(BOX) {
+            Some(point) => {
+                let env = |v: &str| {
+                    point.iter().find(|(n, _)| n == v).map(|(_, k)| *k).unwrap_or(0)
+                };
+                prop_assert!(sys.eval(&env), "find_point returned a non-solution of {}", sys);
+                prop_assert!(point.iter().all(|(_, k)| k.abs() <= BOX));
+            }
+            None => {
+                prop_assert!(brute.is_empty(), "find_point missed a solution of {}", sys);
+            }
+        }
+    }
+
+    /// Conjunction is monotone: `a ∧ b` has no solutions outside `a`.
+    #[test]
+    fn and_is_intersection(a in boxed_system(), b in boxed_system()) {
+        let c = a.and(&b);
+        for sol in c.enumerate_box(-BOX, BOX) {
+            let env = |v: &str| {
+                c.vars().iter().position(|n| n == v).map(|i| sol[i]).unwrap_or(0)
+            };
+            prop_assert!(a.eval(&env) && b.eval(&env));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Exploring the shackle design space (§6.1 / §6.2): enumerate shackled
+//! reference choices, test each with the exact Omega-based legality
+//! check, and use Theorem 2's access-matrix span test to decide how far
+//! to grow a Cartesian product.
+//!
+//! Run with: `cargo run --release --example legality_explorer`
+
+use data_shackle::core::span::unconstrained_refs;
+use data_shackle::core::{check_legality_with_deps, Blocking, Shackle};
+use data_shackle::ir::deps::dependences;
+use data_shackle::ir::{kernels, ArrayRef};
+
+fn main() {
+    // --- matrix multiplication: every single shackle is legal ---
+    let mm = kernels::matmul_ijk();
+    let mm_deps = dependences(&mm);
+    println!("matmul: {} dependences", mm_deps.len());
+    for (array, idx) in [("C", ["I", "J"]), ("A", ["I", "K"]), ("B", ["K", "J"])] {
+        let s = Shackle::new(
+            &mm,
+            Blocking::square(array, 2, &[0, 1], 25),
+            vec![ArrayRef::vars(array, &idx)],
+        );
+        let legal = check_legality_with_deps(&mm, std::slice::from_ref(&s), &mm_deps).is_legal();
+        let open = unconstrained_refs(&mm, &[s]);
+        println!(
+            "  shackle {array}[{}]: {}  (unconstrained refs: {})",
+            idx.join(","),
+            if legal { "legal" } else { "ILLEGAL" },
+            open.len()
+        );
+    }
+    // Theorem 2 in action: C alone leaves K unbounded; C × A closes it.
+    let c = Shackle::new(
+        &mm,
+        Blocking::square("C", 2, &[0, 1], 25),
+        vec![ArrayRef::vars("C", &["I", "J"])],
+    );
+    let a = Shackle::new(
+        &mm,
+        Blocking::square("A", 2, &[0, 1], 25),
+        vec![ArrayRef::vars("A", &["I", "K"])],
+    );
+    println!(
+        "  product C x A: unconstrained refs: {} -> stop growing the product",
+        unconstrained_refs(&mm, &[c, a]).len()
+    );
+
+    // --- Cholesky: the six candidates of §6.1 ---
+    let ch = kernels::cholesky_right();
+    let ch_deps = dependences(&ch);
+    println!("\nright-looking Cholesky: {} dependences", ch_deps.len());
+    println!("six candidate shacklings (S1 fixed to A[J,J]):");
+    let mut legal_count = 0;
+    for s2 in [["I", "J"], ["J", "J"]] {
+        for s3 in [["L", "K"], ["L", "J"], ["K", "J"]] {
+            let s = Shackle::new(
+                &ch,
+                Blocking::square("A", 2, &[1, 0], 64),
+                vec![
+                    ArrayRef::vars("A", &["J", "J"]),
+                    ArrayRef::vars("A", &s2),
+                    ArrayRef::vars("A", &s3),
+                ],
+            );
+            let rep = check_legality_with_deps(&ch, &[s], &ch_deps);
+            if rep.is_legal() {
+                legal_count += 1;
+            }
+            println!(
+                "  S2 = A[{}], S3 = A[{}]: {}",
+                s2.join(","),
+                s3.join(","),
+                if rep.is_legal() {
+                    "legal".to_string()
+                } else {
+                    format!("ILLEGAL ({} violations)", rep.violations.len())
+                }
+            );
+        }
+    }
+    println!(
+        "=> {legal_count} of 6 legal (the paper's §6.1 text claims 2; its \
+         literal second choice is refuted by the exact test — see \
+         EXPERIMENTS.md)"
+    );
+
+    // --- direction matters: a forward recurrence only blocks forward ---
+    use data_shackle::ir::{loop_, stmt, ArrayDecl, ScalarExpr, Statement};
+    use data_shackle::polyhedra::LinExpr;
+    let aref = |e: LinExpr| ArrayRef::new("A", vec![e]);
+    let s = Statement::new(
+        "S",
+        aref(LinExpr::var("I")),
+        ScalarExpr::from(aref(LinExpr::var("I") - LinExpr::constant(1))),
+    );
+    let p = data_shackle::ir::Program::new(
+        "recurrence",
+        vec!["N".into()],
+        vec![ArrayDecl::new("A", vec![LinExpr::var("N")])],
+        vec![s],
+        vec![loop_(
+            "I",
+            LinExpr::constant(1),
+            LinExpr::var("N"),
+            vec![stmt(0)],
+        )],
+    );
+    use data_shackle::core::CutSet;
+    let fwd = Shackle::new(
+        &p,
+        Blocking::new("A", vec![CutSet::axis(0, 1, 16)]),
+        vec![ArrayRef::vars("A", &["I"])],
+    );
+    let rev = Shackle::new(
+        &p,
+        Blocking::new("A", vec![CutSet::axis(0, 1, 16).reversed()]),
+        vec![ArrayRef::vars("A", &["I"])],
+    );
+    println!("\nforward recurrence A[I] = A[I-1]:");
+    println!(
+        "  blocks forward:  {}",
+        if data_shackle::core::check_legality(&p, &[fwd]).is_legal() {
+            "legal"
+        } else {
+            "ILLEGAL"
+        }
+    );
+    println!(
+        "  blocks reversed: {}",
+        if data_shackle::core::check_legality(&p, &[rev]).is_legal() {
+            "legal"
+        } else {
+            "ILLEGAL"
+        }
+    );
+    println!("\nlegality_explorer OK");
+}

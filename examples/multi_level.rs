@@ -1,0 +1,60 @@
+//! Multi-level blocking (§6.3 / Figure 10): a Cartesian product of
+//! products of shackles, one factor per memory level.
+//!
+//! Generates matrix multiplication blocked for a two-level hierarchy
+//! (64-element outer blocks for L2, 8-element inner blocks for L1),
+//! prints the generated code, verifies it, and measures per-level
+//! misses on the simulated two-level hierarchy.
+//!
+//! Run with: `cargo run --release --example multi_level`
+
+use data_shackle::core::{check_legality, scan::generate_scanned};
+use data_shackle::exec::verify::{check_equivalence, hash_init};
+use data_shackle::ir::kernels;
+use data_shackle::kernels::shackles;
+use data_shackle::kernels::trace::trace_execution;
+use data_shackle::memsim::Hierarchy;
+use std::collections::BTreeMap;
+
+fn main() {
+    let program = kernels::matmul_ijk();
+
+    // outer factor: (M_C × M_A) at 64 — blocks for the slow level;
+    // inner factor: (M_C × M_A) at 8 — blocks for the fast level.
+    let factors = shackles::matmul_two_level(&program, 64, 8);
+    assert!(check_legality(&program, &factors).is_legal());
+
+    let blocked = generate_scanned(&program, &factors);
+    println!("=== matmul blocked for two memory levels (Figure 10) ===\n{blocked}");
+
+    let n = 96_i64;
+    let params = BTreeMap::from([("N".to_string(), n)]);
+    let eq = check_equivalence(&program, &blocked, &params, hash_init(2));
+    println!("equivalence at n = {n}: {:.3e}\n", eq.max_rel_diff);
+    assert!(eq.within(1e-12));
+
+    // per-level misses, unblocked vs one-level vs two-level
+    let one = generate_scanned(&program, &shackles::matmul_ca(&program, 64));
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "configuration", "L1 misses", "L2 misses", "mem cycles"
+    );
+    let n = 160_i64;
+    let params = BTreeMap::from([("N".to_string(), n)]);
+    for (label, prog) in [
+        ("unblocked", &program),
+        ("one-level (64)", &one),
+        ("two-level (64, 8)", &blocked),
+    ] {
+        let mut h = Hierarchy::two_level();
+        trace_execution(prog, &params, hash_init(2), &mut h);
+        let ls = h.level_stats();
+        println!(
+            "{label:<22} {:>12} {:>12} {:>12}",
+            ls[0].misses,
+            ls[1].misses,
+            h.cycles()
+        );
+    }
+    println!("\nmulti_level OK");
+}
