@@ -6,7 +6,7 @@
 //! and misses per width, exposing the classic U-shape: tiny blocks
 //! cannot amortize reuse, oversized blocks stop fitting in the cache.
 
-use shackle_bench::model;
+use shackle_bench::{model, par};
 use shackle_kernels::shackles;
 use shackle_kernels::trace::trace_execution;
 use shackle_memsim::Hierarchy;
@@ -20,7 +20,10 @@ fn main() {
         "{:>8} {:>12} {:>14} {:>10}",
         "width", "misses", "mem cycles", "MFLOPS"
     );
-    for width in [2i64, 4, 8, 16, 32, 64, 128] {
+    let widths = [2i64, 4, 8, 16, 32, 64, 128];
+    // each width is an independent simulation; sweep them in parallel
+    // and print in width order
+    let rows = par::map(&widths, |&width| {
         let factors = shackles::cholesky_product(&p, width);
         let blocked = shackle_core::scan::generate_scanned(&p, &factors);
         let params = BTreeMap::from([("N".to_string(), n)]);
@@ -28,10 +31,9 @@ fn main() {
         let mut h = Hierarchy::sp2_thin_node();
         let stats = trace_execution(&blocked, &params, &init, &mut h);
         let mflops = model::perf(model::SCALAR_CYCLES_PER_FLOP).mflops(stats.flops, h.cycles());
-        println!(
-            "{width:>8} {:>12} {:>14} {mflops:>10.2}",
-            h.level_stats()[0].misses,
-            h.cycles()
-        );
+        (h.level_stats()[0].misses, h.cycles(), mflops)
+    });
+    for (&width, (misses, cycles, mflops)) in widths.iter().zip(rows) {
+        println!("{width:>8} {misses:>12} {cycles:>14} {mflops:>10.2}");
     }
 }

@@ -9,7 +9,7 @@
 //! the generated code (shackling "takes no position on how the remapped
 //! data is stored").
 
-use shackle_exec::{execute, Access, Observer, Workspace};
+use shackle_exec::{execute_compiled, Access, Observer, Workspace};
 use shackle_kernels::shackles;
 use shackle_kernels::trace::{block_major_address, trace_execution};
 use shackle_memsim::Hierarchy;
@@ -55,7 +55,7 @@ fn main() {
             b,
             hierarchy: &mut h_blk,
         };
-        execute(&blocked, &mut ws, &params, &mut obs);
+        execute_compiled(&blocked, &mut ws, &params, &mut obs);
     }
 
     println!("{:<28} {:>12} {:>14}", "layout", "L1 misses", "mem cycles");

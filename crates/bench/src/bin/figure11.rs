@@ -2,14 +2,22 @@
 //! SP-2-like memory hierarchy, four curves (input right-looking code,
 //! compiler-generated fully blocked code, the same with one
 //! matrix-multiply section in DGEMM, LAPACK with native BLAS).
+//!
+//! `--quick` runs a reduced size sweep (CI perf smoke); the full sweep
+//! reproduces the paper's x-axis.
 
 use shackle_bench::{figure11, render_table};
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     // non-power-of-two sizes avoid leading-dimension set-conflict
     // pathologies in the 4-way cache (real, but orthogonal to blocking)
-    let sizes = [100, 150, 200, 250, 300, 400, 500];
-    let series = figure11(&sizes, 32);
+    let sizes: &[i64] = if quick {
+        &[100, 150, 200]
+    } else {
+        &[100, 150, 200, 250, 300, 400, 500]
+    };
+    let series = figure11(sizes, 32);
     print!(
         "{}",
         render_table(

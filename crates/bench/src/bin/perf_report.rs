@@ -1,0 +1,141 @@
+//! Harness performance report: tree interpreter vs compiled engine.
+//!
+//! Times each evaluation kernel through both execution paths (same
+//! program, same workspace contents, `NullObserver`) and writes
+//! `BENCH_exec.json` with instances/second for each, plus the speedup.
+//! The compiled engine is the hot path under every figure sweep, so
+//! this is the number that decides how long the harness takes.
+//!
+//! Run in release mode: `cargo run --release --bin perf_report`.
+
+use shackle_exec::{compile, execute, NullObserver, Workspace};
+use shackle_ir::Program;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+struct Row {
+    kernel: &'static str,
+    n: i64,
+    instances: u64,
+    tree_ips: f64,
+    compiled_ips: f64,
+}
+
+/// Best-of-`reps` wall-clock seconds for one closure.
+fn best_secs(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure(
+    kernel: &'static str,
+    program: &Program,
+    params: &BTreeMap<String, i64>,
+    n: i64,
+    init: impl Fn(&str, &[usize]) -> f64,
+) -> Row {
+    let reps = 3;
+    let template = Workspace::for_program(program, params, &init);
+
+    let mut stats = Default::default();
+    let tree = best_secs(reps, || {
+        let mut ws = template.clone();
+        stats = execute(program, &mut ws, params, &mut NullObserver);
+    });
+    let cp = compile(program);
+    let compiled = best_secs(reps, || {
+        let mut ws = template.clone();
+        let s = cp.execute(&mut ws, params, &mut NullObserver);
+        assert_eq!(s, stats, "engines must agree on {kernel}");
+    });
+    Row {
+        kernel,
+        n,
+        instances: stats.instances,
+        tree_ips: stats.instances as f64 / tree,
+        compiled_ips: stats.instances as f64 / compiled,
+    }
+}
+
+fn main() {
+    let params_n = |n: i64| BTreeMap::from([("N".to_string(), n)]);
+    let ones = |_: &str, _: &[usize]| 1.0;
+    let mut rows = Vec::new();
+
+    let n = 64;
+    rows.push(measure(
+        "matmul_ijk",
+        &shackle_ir::kernels::matmul_ijk(),
+        &params_n(n),
+        n,
+        ones,
+    ));
+    rows.push(measure(
+        "cholesky_right",
+        &shackle_ir::kernels::cholesky_right(),
+        &params_n(n),
+        n,
+        shackle_exec::verify::spd_init("A", n as usize, 3),
+    ));
+    rows.push(measure(
+        "qr_householder",
+        &shackle_ir::kernels::qr_householder(),
+        &params_n(48),
+        48,
+        shackle_exec::verify::hash_init(3),
+    ));
+    rows.push(measure(
+        "gauss",
+        &shackle_ir::kernels::gauss(),
+        &params_n(n),
+        n,
+        shackle_exec::verify::spd_init("A", n as usize, 5),
+    ));
+    rows.push(measure(
+        "adi",
+        &shackle_ir::kernels::adi(),
+        &params_n(96),
+        96,
+        |name: &str, idx: &[usize]| {
+            if name == "B" {
+                2.0 + (idx[0] % 7) as f64
+            } else {
+                (idx[0] % 5) as f64
+            }
+        },
+    ));
+
+    println!(
+        "{:<16} {:>6} {:>10} {:>16} {:>16} {:>8}",
+        "kernel", "n", "instances", "tree inst/s", "compiled inst/s", "speedup"
+    );
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.compiled_ips / r.tree_ips;
+        println!(
+            "{:<16} {:>6} {:>10} {:>16.0} {:>16.0} {:>7.2}x",
+            r.kernel, r.n, r.instances, r.tree_ips, r.compiled_ips, speedup
+        );
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"instances\": {}, \
+             \"tree_instances_per_sec\": {:.0}, \
+             \"compiled_instances_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.n,
+            r.instances,
+            r.tree_ips,
+            r.compiled_ips,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("\nwrote BENCH_exec.json");
+}

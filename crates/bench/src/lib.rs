@@ -23,6 +23,79 @@ use shackle_kernels::trace::trace_execution;
 use shackle_memsim::{Hierarchy, PerfModel};
 use std::collections::BTreeMap;
 
+/// Deterministic parallel sweeps over figure points.
+///
+/// Every figure evaluates an embarrassingly parallel list of
+/// independent simulations (one per problem size / bandwidth /
+/// program variant). [`par::map`] fans them out over scoped threads —
+/// thread count from `SHACKLE_THREADS`, defaulting to the machine's
+/// available parallelism — and reassembles results **by input index**,
+/// so the output is byte-identical to a serial run regardless of
+/// thread count or completion order.
+pub mod par {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    /// Worker threads to use: `SHACKLE_THREADS` if set to a positive
+    /// integer, otherwise the available parallelism (1 if unknown).
+    pub fn thread_count() -> usize {
+        std::env::var("SHACKLE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    }
+
+    /// Apply `f` to every item on [`thread_count`] scoped threads,
+    /// returning results in input order.
+    pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        map_with(thread_count(), items, f)
+    }
+
+    /// As [`map`] with an explicit thread count. Results are collected
+    /// into their input slots, so any `threads` value yields the same
+    /// output as `threads == 1`. A worker panic propagates.
+    pub fn map_with<T: Sync, R: Send>(
+        threads: usize,
+        items: &[T],
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R> {
+        let threads = threads.min(items.len()).max(1);
+        if threads == 1 {
+            return items.iter().map(&f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (next, f) = (&next, &f);
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if tx.send((i, f(&items[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            for (i, r) in rx {
+                out[i] = Some(r);
+            }
+            out.into_iter()
+                .map(|r| r.expect("every item produces a result"))
+                .collect()
+        })
+    }
+}
+
 /// The CPU-side cost model, calibrated to the paper's reported plateaus
 /// (see EXPERIMENTS.md). The *memory* side is always simulated from
 /// real traces; these constants only encode how good the generated
@@ -150,25 +223,24 @@ pub fn figure11(sizes: &[i64], width: i64) -> Vec<Series> {
         points: Vec::new(),
     })
     .collect();
-    for &n in sizes {
+    // one independent simulation per size, fanned out over threads;
+    // results come back in size order, so the series are identical to
+    // a serial sweep
+    let rows = par::map(sizes, |&n| {
         let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 11);
         let (si, ci) = run_traced(&p, &params_n(n), &init);
         let (sb, cb) = run_traced(&blocked, &params_n(n), &init);
-        series[0].points.push((
-            n,
+        [
             mflops(si, ci, model::perf(model::SCALAR_CYCLES_PER_FLOP)),
-        ));
-        series[1].points.push((
-            n,
             mflops(sb, cb, model::perf(model::SCALAR_CYCLES_PER_FLOP)),
-        ));
-        series[2].points.push((
-            n,
             mflops(sb, cb, model::perf(model::PARTIAL_DGEMM_CYCLES_PER_FLOP)),
-        ));
-        series[3]
-            .points
-            .push((n, mflops(sb, cb, model::perf(model::BLAS3_CYCLES_PER_FLOP))));
+            mflops(sb, cb, model::perf(model::BLAS3_CYCLES_PER_FLOP)),
+        ]
+    });
+    for (&n, vals) in sizes.iter().zip(rows) {
+        for (k, v) in vals.into_iter().enumerate() {
+            series[k].points.push((n, v));
+        }
     }
     series
 }
@@ -194,7 +266,7 @@ pub fn figure12(sizes: &[i64], width: i64) -> Vec<Series> {
         points: Vec::new(),
     })
     .collect();
-    for &n in sizes {
+    let rows = par::map(sizes, |&n| {
         let init = shackle_exec::verify::hash_init(13);
         let (si, ci) = run_traced(&p, &params_n(n), init);
         let init = shackle_exec::verify::hash_init(13);
@@ -203,23 +275,18 @@ pub fn figure12(sizes: &[i64], width: i64) -> Vec<Series> {
         let mut h = Hierarchy::sp2_thin_node();
         let mut a = shackle_kernels::gen::random_mat(n as usize, n as usize, 13);
         let wy = shackle_kernels::traced::qr_wy_traced(&mut a, width as usize, &mut h);
-        series[0].points.push((
-            n,
+        [
             mflops(si, ci, model::perf(model::SCALAR_CYCLES_PER_FLOP)),
-        ));
-        series[1].points.push((
-            n,
             mflops(sb, cb, model::perf(model::SCALAR_CYCLES_PER_FLOP)),
-        ));
-        series[2].points.push((
-            n,
             mflops(sb, cb, model::perf(model::LEVEL2_CYCLES_PER_FLOP)),
-        ));
-        series[3].points.push((
-            n,
             model::perf(model::blas3_qr_ramp_cycles_per_flop(n as usize))
                 .mflops(wy.flops, h.cycles()),
-        ));
+        ]
+    });
+    for (&n, vals) in sizes.iter().zip(rows) {
+        for (k, v) in vals.into_iter().enumerate() {
+            series[k].points.push((n, v));
+        }
     }
     series
 }
@@ -304,7 +371,7 @@ pub fn figure15(n: i64, bands: &[i64], width: i64) -> Vec<Series> {
         points: Vec::new(),
     })
     .collect();
-    for &bw in bands {
+    let rows = par::map(bands, |&bw| {
         let params = BTreeMap::from([("N".to_string(), n), ("P".to_string(), bw)]);
         let init = shackle_kernels::gen::banded_ws_init("A", n as usize, bw as usize, 19);
         let (si, ci) = run_traced(&p, &params, &init);
@@ -314,7 +381,7 @@ pub fn figure15(n: i64, bands: &[i64], width: i64) -> Vec<Series> {
             let mut ws = shackle_exec::Workspace::for_program(&blocked, &params, &init);
             let mut obs =
                 shackle_kernels::trace::BandObserver::new("A", n as usize, bw as usize, &mut h);
-            let stats = shackle_exec::execute(&blocked, &mut ws, &params, &mut obs);
+            let stats = shackle_exec::execute_compiled(&blocked, &mut ws, &params, &mut obs);
             (stats, h.cycles())
         };
         // LAPACK on band storage
@@ -326,19 +393,17 @@ pub fn figure15(n: i64, bands: &[i64], width: i64) -> Vec<Series> {
             (width as usize).min(bw as usize + 1),
             &mut h,
         );
-        series[0].points.push((
-            bw,
+        [
             mflops(si, ci, model::perf(model::SCALAR_CYCLES_PER_FLOP)),
-        ));
-        series[1].points.push((
-            bw,
             mflops(sb, cb, model::perf(model::SCALAR_CYCLES_PER_FLOP)),
-        ));
-        series[2].points.push((
-            bw,
             model::perf(model::blas3_band_ramp_cycles_per_flop(bw as usize))
                 .mflops(run.flops, h.cycles()),
-        ));
+        ]
+    });
+    for (&bw, vals) in bands.iter().zip(rows) {
+        for (k, v) in vals.into_iter().enumerate() {
+            series[k].points.push((bw, v));
+        }
     }
     series
 }
@@ -365,28 +430,32 @@ pub fn figure10(n: i64, w1: i64, w2: i64) -> Vec<MultiLevelRow> {
 
 /// As [`figure10`] with a custom hierarchy factory (used by tests to
 /// scale the experiment down).
-pub fn figure10_on(n: i64, w1: i64, w2: i64, mk: impl Fn() -> Hierarchy) -> Vec<MultiLevelRow> {
+pub fn figure10_on(
+    n: i64,
+    w1: i64,
+    w2: i64,
+    mk: impl Fn() -> Hierarchy + Sync,
+) -> Vec<MultiLevelRow> {
     let p = shackle_ir::kernels::matmul_ijk();
     let one = shackle_core::scan::generate_scanned(&p, &shackles::matmul_ca(&p, w1));
     let two = shackle_core::scan::generate_scanned(&p, &shackles::matmul_two_level(&p, w1, w2));
     let init = shackle_exec::verify::hash_init(23);
-    let mut out = Vec::new();
-    for (label, prog) in [
+    let variants = [
         ("unblocked (I-J-K)", &p),
         ("one-level (Fig. 3)", &one),
         ("two-level (Fig. 10)", &two),
-    ] {
+    ];
+    par::map(&variants, |&(label, prog)| {
         let mut h = mk();
         trace_execution(prog, &params_n(n), &init, &mut h);
         let ls = h.level_stats();
-        out.push(MultiLevelRow {
+        MultiLevelRow {
             label: label.to_string(),
             l1_misses: ls[0].misses,
             l2_misses: ls[1].misses,
             cycles: h.cycles(),
-        });
-    }
-    out
+        }
+    })
 }
 
 #[cfg(test)]
@@ -482,6 +551,34 @@ mod tests {
         assert!(elim > 1.0, "elimination speedup {elim}");
         assert!(whole > 1.0, "whole-benchmark speedup {whole}");
         assert!(whole < elim, "setup work must dilute the speedup");
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..40).collect();
+        // an order-sensitive function: results must land in input slots
+        let f = |&x: &u64| x * x + 1;
+        let serial = par::map_with(1, &items, f);
+        for threads in [2, 3, 7, 16] {
+            assert_eq!(
+                par::map_with(threads, &items, f),
+                serial,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_sweep_is_byte_identical_serial_vs_parallel() {
+        // SHACKLE_THREADS steers par::thread_count; other tests only
+        // become serial if they observe the temporary value, which does
+        // not change their results
+        std::env::set_var("SHACKLE_THREADS", "1");
+        let serial = render_table("f11", "n", &figure11(&[16, 24, 32], 8));
+        std::env::set_var("SHACKLE_THREADS", "4");
+        let parallel = render_table("f11", "n", &figure11(&[16, 24, 32], 8));
+        std::env::remove_var("SHACKLE_THREADS");
+        assert_eq!(serial, parallel);
     }
 
     #[test]

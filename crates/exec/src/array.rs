@@ -190,6 +190,14 @@ impl Workspace {
         self.arrays.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Iterate mutably over `(name, array)` in name order. The compiled
+    /// execution engine uses this to split the workspace into disjoint
+    /// per-array borrows up front instead of looking names up per
+    /// access.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut DenseArray)> {
+        self.arrays.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// The largest relative element-wise difference against another
     /// workspace with the same shape (∞ on shape mismatch).
     pub fn max_rel_diff(&self, other: &Workspace) -> f64 {

@@ -30,6 +30,19 @@ pub struct Access<'a> {
 pub trait Observer {
     /// Called once per element load/store.
     fn access(&mut self, access: Access<'_>);
+
+    /// Called with a chunk of consecutive accesses in program order.
+    ///
+    /// The compiled engine buffers accesses and delivers them through
+    /// this hook, eliminating one virtual call per element. The default
+    /// forwards each element to [`Observer::access`], so existing
+    /// observers keep working unchanged; high-throughput observers
+    /// (the cache simulator bridge) override it.
+    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+        for &a in accesses {
+            self.access(a);
+        }
+    }
 }
 
 /// An [`Observer`] that does nothing.
@@ -38,6 +51,7 @@ pub struct NullObserver;
 
 impl Observer for NullObserver {
     fn access(&mut self, _access: Access<'_>) {}
+    fn access_batch(&mut self, _accesses: &[Access<'_>]) {}
 }
 
 /// Execution statistics.
@@ -49,7 +63,9 @@ pub struct ExecStats {
     pub loads: u64,
     /// Array element stores.
     pub stores: u64,
-    /// Floating-point operations (`+ - * /` and `sqrt` each count 1).
+    /// Floating-point operations: `+ - * /` and `sqrt` each count 1;
+    /// negation and sign-extraction are free, matching the BLAS/LAPACK
+    /// flop-counting convention.
     pub flops: u64,
 }
 
@@ -96,7 +112,7 @@ pub fn execute(
     interp.stats
 }
 
-fn count_flops(s: &Statement) -> u64 {
+pub(crate) fn count_flops(s: &Statement) -> u64 {
     fn walk(e: &ScalarExpr) -> u64 {
         match e {
             ScalarExpr::Ref(_) | ScalarExpr::Const(_) => 0,
@@ -104,7 +120,9 @@ fn count_flops(s: &Statement) -> u64 {
             | ScalarExpr::Sub(a, b)
             | ScalarExpr::Mul(a, b)
             | ScalarExpr::Div(a, b) => 1 + walk(a) + walk(b),
-            ScalarExpr::Sqrt(a) | ScalarExpr::Neg(a) | ScalarExpr::Sign(a) => 1 + walk(a),
+            ScalarExpr::Sqrt(a) => 1 + walk(a),
+            // sign flips carry no arithmetic cost (BLAS convention)
+            ScalarExpr::Neg(a) | ScalarExpr::Sign(a) => walk(a),
         }
     }
     walk(s.rhs())
@@ -159,16 +177,27 @@ impl Interp<'_> {
                 Node::Loop(l) => {
                     let lo = self.eval_bound(&l.lower, true);
                     let hi = self.eval_bound(&l.upper, false);
-                    let shadowed = self.env.get(&l.var).copied();
+                    if lo > hi {
+                        continue;
+                    }
+                    // Bind the variable once per loop *entry* — the key
+                    // is cloned here and never again; iterations update
+                    // the binding in place. The tail below is the scope
+                    // guard: it restores the shadowed binding (inner
+                    // loops reusing the name rely on it).
+                    let shadowed = self.env.insert(l.var.clone(), lo);
                     let mut i = lo;
-                    while i <= hi {
-                        self.env.insert(l.var.clone(), i);
+                    loop {
                         self.run_nodes(&l.body);
+                        if i == hi {
+                            break;
+                        }
                         i += 1;
+                        *self.env.get_mut(&l.var).expect("loop variable bound") = i;
                     }
                     match shadowed {
                         Some(v) => {
-                            self.env.insert(l.var.clone(), v);
+                            *self.env.get_mut(&l.var).expect("loop variable bound") = v;
                         }
                         None => {
                             self.env.remove(&l.var);
@@ -335,6 +364,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn flop_convention_ignores_neg_and_sign() {
+        use shackle_ir::{ArrayRef, Statement};
+        let a = || ScalarExpr::from(ArrayRef::vars("A", &["I"]));
+        // -(sign(A[I]) * A[I]) + A[I]: one Mul + one Add; Neg and Sign
+        // are free under the BLAS convention
+        let rhs = ScalarExpr::Neg(Box::new(a().sign() * a())) + a();
+        let s = Statement::new("S", ArrayRef::vars("A", &["I"]), rhs);
+        assert_eq!(count_flops(&s), 2);
+        // sqrt still costs one
+        let s2 = Statement::new("S2", ArrayRef::vars("A", &["I"]), a().sqrt());
+        assert_eq!(count_flops(&s2), 1);
+    }
+
+    #[test]
+    fn cholesky_flop_formula() {
+        // S1 (sqrt): n instances × 1 flop; S2 (div): n(n−1)/2 × 1;
+        // S3 (sub+mul): Σ_j (n−j)(n−j+1)/2 instances × 2 — the classic
+        // n³/3 + O(n²) Cholesky count.
+        let p = kernels::cholesky_right();
+        let n: i64 = 24;
+        let init = crate::verify::spd_init("A", n as usize, 7);
+        let mut ws = Workspace::for_program(&p, &params(n), init);
+        let stats = execute(&p, &mut ws, &params(n), &mut NullObserver);
+        let s3: i64 = (1..=n).map(|j| (n - j) * (n - j + 1) / 2).sum();
+        let expect = n + n * (n - 1) / 2 + 2 * s3;
+        assert_eq!(stats.flops, expect as u64);
+        let ratio = stats.flops as f64 / (n as f64).powi(3);
+        assert!((0.30..0.40).contains(&ratio), "n³/3 asymptotic: {ratio}");
     }
 
     #[test]

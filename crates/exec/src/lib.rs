@@ -36,8 +36,10 @@
 mod array;
 mod interp;
 
+pub mod compile;
 pub mod multipass;
 pub mod verify;
 
 pub use array::{DenseArray, Workspace};
+pub use compile::{compile, execute_compiled, CompiledProgram, InstanceRunner};
 pub use interp::{execute, Access, ExecStats, NullObserver, Observer};

@@ -18,8 +18,9 @@
 //! eventually affected by every other element") typically need several
 //! sweeps; codes whose shackle is legal complete in exactly one.
 
-use crate::{DenseArray, Workspace};
-use shackle_ir::{Bound, Node, Program, ScalarExpr, StmtId};
+use crate::compile::{compile, InstanceRunner};
+use crate::Workspace;
+use shackle_ir::{Bound, Node, Program, StmtId};
 use shackle_polyhedra::num::{ceil_div, floor_div};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -130,6 +131,11 @@ pub fn execute_multipass(
 ) -> MultipassRun {
     let instances = enumerate_instances(program, params);
     let n = instances.len();
+    // The compiled engine resolves every instance's memory locations
+    // (dense (array, offset) keys, no name lookups) and executes the
+    // ready instances.
+    let cp = compile(program);
+    let mut runner = InstanceRunner::new(&cp, workspace, params);
 
     // Exact instance-level dependences via per-location access history.
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -139,32 +145,19 @@ pub fn execute_multipass(
             last_writer: Option<usize>,
             readers_since: Vec<usize>,
         }
-        let mut locs: HashMap<(String, usize), LocState> = HashMap::new();
+        let mut locs: HashMap<(usize, usize), LocState> = HashMap::new();
+        let mut reads = Vec::new();
         for (idx, inst) in instances.iter().enumerate() {
-            let stmt = &program.stmts()[inst.stmt];
-            let ctx = program.context(inst.stmt);
-            let env: BTreeMap<String, i64> = ctx
-                .iter_vars()
-                .iter()
-                .map(|s| s.to_string())
-                .zip(inst.ivec.iter().copied())
-                .chain(params.clone())
-                .collect();
-            let resolve = |r: &shackle_ir::ArrayRef| -> (String, usize) {
-                let idxs: Vec<i64> = r.indices().iter().map(|e| e.eval(&|v| env[v])).collect();
-                let arr = workspace.array(r.array()).expect("declared array");
-                (r.array().to_string(), arr.offset(&idxs))
-            };
-            for r in stmt.reads() {
-                let key = resolve(r);
+            reads.clear();
+            let write = runner.locations(inst.stmt, &inst.ivec, &mut reads);
+            for &key in &reads {
                 let st = locs.entry(key).or_default();
                 if let Some(w) = st.last_writer {
                     preds[idx].push(w);
                 }
                 st.readers_since.push(idx);
             }
-            let key = resolve(stmt.write());
-            let st = locs.entry(key).or_default();
+            let st = locs.entry(write).or_default();
             if let Some(w) = st.last_writer {
                 preds[idx].push(w);
             }
@@ -207,7 +200,8 @@ pub fn execute_multipass(
                         continue;
                     }
                     if preds[idx].iter().all(|&q| done[q]) {
-                        run_instance(program, workspace, params, &instances[idx]);
+                        let inst = &instances[idx];
+                        runner.run(workspace, inst.stmt, &inst.ivec);
                         done[idx] = true;
                         remaining -= 1;
                         progressed = true;
@@ -222,56 +216,6 @@ pub fn execute_multipass(
     MultipassRun {
         sweeps,
         instances: n as u64,
-    }
-}
-
-fn run_instance(
-    program: &Program,
-    workspace: &mut Workspace,
-    params: &BTreeMap<String, i64>,
-    inst: &Instance,
-) {
-    let ctx = program.context(inst.stmt);
-    let env: BTreeMap<String, i64> = ctx
-        .iter_vars()
-        .iter()
-        .map(|s| s.to_string())
-        .zip(inst.ivec.iter().copied())
-        .chain(params.clone())
-        .collect();
-    let stmt = &program.stmts()[inst.stmt];
-    let value = eval_scalar(workspace, &env, stmt.rhs());
-    let idxs: Vec<i64> = stmt
-        .write()
-        .indices()
-        .iter()
-        .map(|e| e.eval(&|v| env[v]))
-        .collect();
-    let arr = workspace.array_mut(stmt.write().array()).expect("array");
-    arr.set(&idxs, value);
-}
-
-fn eval_scalar(ws: &Workspace, env: &BTreeMap<String, i64>, e: &ScalarExpr) -> f64 {
-    match e {
-        ScalarExpr::Const(c) => *c,
-        ScalarExpr::Ref(r) => {
-            let idxs: Vec<i64> = r.indices().iter().map(|x| x.eval(&|v| env[v])).collect();
-            let arr: &DenseArray = ws.array(r.array()).expect("array");
-            arr.get(&idxs)
-        }
-        ScalarExpr::Add(a, b) => eval_scalar(ws, env, a) + eval_scalar(ws, env, b),
-        ScalarExpr::Sub(a, b) => eval_scalar(ws, env, a) - eval_scalar(ws, env, b),
-        ScalarExpr::Mul(a, b) => eval_scalar(ws, env, a) * eval_scalar(ws, env, b),
-        ScalarExpr::Div(a, b) => eval_scalar(ws, env, a) / eval_scalar(ws, env, b),
-        ScalarExpr::Sqrt(a) => eval_scalar(ws, env, a).sqrt(),
-        ScalarExpr::Neg(a) => -eval_scalar(ws, env, a),
-        ScalarExpr::Sign(a) => {
-            if eval_scalar(ws, env, a) < 0.0 {
-                -1.0
-            } else {
-                1.0
-            }
-        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! configurable tolerance (exact transformations of non-associative-free
 //! code still come out bit-identical).
 
-use crate::{execute, ExecStats, NullObserver, Workspace};
+use crate::{execute_compiled, ExecStats, NullObserver, Workspace};
 use shackle_ir::Program;
 use std::collections::BTreeMap;
 
@@ -93,8 +93,10 @@ pub fn check_equivalence(
 ) -> Equivalence {
     let mut w1 = Workspace::for_program(reference, params, &init);
     let mut w2 = Workspace::for_program(transformed, params, &init);
-    let s1 = execute(reference, &mut w1, params, &mut NullObserver);
-    let s2 = execute(transformed, &mut w2, params, &mut NullObserver);
+    // the compiled engine matches the tree interpreter bit-for-bit (see
+    // `compile`'s differential tests), so equivalence checks run on it
+    let s1 = execute_compiled(reference, &mut w1, params, &mut NullObserver);
+    let s2 = execute_compiled(transformed, &mut w2, params, &mut NullObserver);
     assert_eq!(
         s1.instances, s2.instances,
         "transformed program executed a different number of statement \

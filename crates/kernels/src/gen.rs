@@ -5,13 +5,12 @@
 //! factorizations are numerically well-posed. All generators are
 //! deterministic in a seed.
 
+use crate::rng::Rng;
 use crate::Mat;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A uniformly random matrix in `(0, 1)`.
 pub fn random_mat(n: usize, m: usize, seed: u64) -> Mat {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Mat::zeros(n, m);
     for j in 0..m {
         for i in 0..n {
@@ -25,7 +24,7 @@ pub fn random_mat(n: usize, m: usize, seed: u64) -> Mat {
 /// with a dominant diagonal (`aᵢᵢ = n + 1 + uᵢ`), which guarantees
 /// positive pivots for Cholesky and Gaussian elimination alike.
 pub fn random_spd(n: usize, seed: u64) -> Mat {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut m = Mat::zeros(n, n);
     for j in 0..n {
         for i in j..n {
@@ -43,7 +42,7 @@ pub fn random_spd(n: usize, seed: u64) -> Mat {
 /// A random banded SPD matrix with half-bandwidth `p`: zero outside
 /// `|i − j| ≤ p`, dominant diagonal.
 pub fn random_banded_spd(n: usize, p: usize, seed: u64) -> Mat {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut m = Mat::zeros(n, n);
     for j in 0..n {
         for i in j..(j + p + 1).min(n) {

@@ -34,6 +34,7 @@ pub mod gauss;
 pub mod gen;
 pub mod matmul;
 pub mod qr;
+pub mod rng;
 pub mod shackles;
 pub mod trace;
 pub mod traced;

@@ -73,12 +73,19 @@ impl AddressMap {
 pub struct MemObserver<'a> {
     map: AddressMap,
     hierarchy: &'a mut Hierarchy,
+    /// Reusable scratch for batched deliveries — translated addresses
+    /// are staged here and handed to the hierarchy in one call.
+    addrs: Vec<u64>,
 }
 
 impl<'a> MemObserver<'a> {
     /// Build an observer over a hierarchy.
     pub fn new(map: AddressMap, hierarchy: &'a mut Hierarchy) -> Self {
-        Self { map, hierarchy }
+        Self {
+            map,
+            hierarchy,
+            addrs: Vec::new(),
+        }
     }
 }
 
@@ -86,6 +93,13 @@ impl Observer for MemObserver<'_> {
     fn access(&mut self, a: Access<'_>) {
         let addr = self.map.address(a.array, a.offset);
         self.hierarchy.access(addr);
+    }
+
+    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+        self.addrs.clear();
+        self.addrs
+            .extend(accesses.iter().map(|a| self.map.address(a.array, a.offset)));
+        self.hierarchy.access_many(&self.addrs);
     }
 }
 
@@ -104,6 +118,7 @@ pub struct BandObserver<'a> {
     p: usize,
     other_base: u64,
     hierarchy: &'a mut Hierarchy,
+    addrs: Vec<u64>,
 }
 
 impl<'a> BandObserver<'a> {
@@ -117,13 +132,12 @@ impl<'a> BandObserver<'a> {
             p,
             other_base: band_bytes.div_ceil(128) * 128,
             hierarchy,
+            addrs: Vec::new(),
         }
     }
-}
 
-impl Observer for BandObserver<'_> {
-    fn access(&mut self, a: Access<'_>) {
-        let addr = if a.array == self.array {
+    fn band_address(&self, a: &Access<'_>) -> u64 {
+        if a.array == self.array {
             let i = a.offset % self.n;
             let j = a.offset / self.n;
             assert!(
@@ -134,8 +148,23 @@ impl Observer for BandObserver<'_> {
             (((i - j) + j * (self.p + 1)) as u64) * ELEM_BYTES
         } else {
             self.other_base + a.offset as u64 * ELEM_BYTES
-        };
+        }
+    }
+}
+
+impl Observer for BandObserver<'_> {
+    fn access(&mut self, a: Access<'_>) {
+        let addr = self.band_address(&a);
         self.hierarchy.access(addr);
+    }
+
+    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+        self.addrs.clear();
+        for a in accesses {
+            let addr = self.band_address(a);
+            self.addrs.push(addr);
+        }
+        self.hierarchy.access_many(&self.addrs);
     }
 }
 
@@ -155,6 +184,7 @@ pub struct BlockMajorObserver<'a> {
     b: usize,
     other_base: u64,
     hierarchy: &'a mut Hierarchy,
+    addrs: Vec<u64>,
 }
 
 impl<'a> BlockMajorObserver<'a> {
@@ -174,6 +204,7 @@ impl<'a> BlockMajorObserver<'a> {
             b,
             other_base: bytes.div_ceil(128) * 128,
             hierarchy,
+            addrs: Vec::new(),
         }
     }
 
@@ -205,11 +236,30 @@ impl Observer for BlockMajorObserver<'_> {
         };
         self.hierarchy.access(addr);
     }
+
+    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+        self.addrs.clear();
+        for a in accesses {
+            let addr = if a.array == self.array {
+                let i = a.offset % self.n;
+                let j = a.offset / self.n;
+                self.address(i, j)
+            } else {
+                self.other_base + a.offset as u64 * ELEM_BYTES
+            };
+            self.addrs.push(addr);
+        }
+        self.hierarchy.access_many(&self.addrs);
+    }
 }
 
-/// Run `program` through the interpreter against a fresh workspace and a
-/// hierarchy, returning `(stats, hierarchy cycles at exit are in the
-/// hierarchy)`. Convenience for the figure harnesses.
+/// Run `program` through the compiled engine against a fresh workspace
+/// and a hierarchy, returning the execution stats (cycles accumulate in
+/// the hierarchy). Convenience for the figure harnesses.
+///
+/// Accesses stream through the batched observer path
+/// ([`Observer::access_batch`] → [`Hierarchy::access_many`]), which is
+/// behaviorally identical to per-element delivery.
 pub fn trace_execution(
     program: &Program,
     params: &BTreeMap<String, i64>,
@@ -219,7 +269,7 @@ pub fn trace_execution(
     let map = AddressMap::for_program(program, params, 128);
     let mut ws = shackle_exec::Workspace::for_program(program, params, init);
     let mut obs = MemObserver::new(map, hierarchy);
-    shackle_exec::execute(program, &mut ws, params, &mut obs)
+    shackle_exec::execute_compiled(program, &mut ws, params, &mut obs)
 }
 
 #[cfg(test)]
@@ -258,6 +308,45 @@ mod tests {
     }
 
     #[test]
+    fn batched_delivery_matches_per_element_delivery() {
+        // feed the same trace once through Observer::access and once
+        // through access_batch/access_many: the hierarchy must end up
+        // with identical cycles and per-level stats
+        let p = kernels::matmul_ijk();
+        let params = params(10);
+        let map = AddressMap::for_program(&p, &params, 128);
+
+        let mut h_scalar = shackle_memsim::Hierarchy::sp2_thin_node();
+        let mut ws = shackle_exec::Workspace::for_program(&p, &params, |_, _| 1.0);
+        {
+            let mut obs = MemObserver::new(map.clone(), &mut h_scalar);
+            use shackle_exec::Observer;
+            struct PerElement<'a, 'b>(&'a mut MemObserver<'b>);
+            impl Observer for PerElement<'_, '_> {
+                fn access(&mut self, a: shackle_exec::Access<'_>) {
+                    self.0.access(a);
+                }
+                // no access_batch override: every access goes through
+                // the per-element path
+            }
+            shackle_exec::execute_compiled(&p, &mut ws, &params, &mut PerElement(&mut obs));
+        }
+
+        let mut h_batch = shackle_memsim::Hierarchy::sp2_thin_node();
+        let mut ws2 = shackle_exec::Workspace::for_program(&p, &params, |_, _| 1.0);
+        let mut obs = MemObserver::new(map, &mut h_batch);
+        shackle_exec::execute_compiled(&p, &mut ws2, &params, &mut obs);
+
+        assert_eq!(h_scalar.cycles(), h_batch.cycles());
+        assert_eq!(h_scalar.accesses(), h_batch.accesses());
+        let (s1, s2) = (h_scalar.level_stats(), h_batch.level_stats());
+        for (a, b) in s1.iter().zip(&s2) {
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.misses, b.misses);
+        }
+    }
+
+    #[test]
     fn band_observer_maps_into_band_storage() {
         let p = kernels::banded_cholesky();
         let (n, bw) = (12i64, 3i64);
@@ -266,7 +355,7 @@ mod tests {
         let init = crate::gen::banded_ws_init("A", n as usize, bw as usize, 1);
         let mut ws = shackle_exec::Workspace::for_program(&p, &params, &init);
         let mut obs = BandObserver::new("A", n as usize, bw as usize, &mut h);
-        let stats = shackle_exec::execute(&p, &mut ws, &params, &mut obs);
+        let stats = shackle_exec::execute_compiled(&p, &mut ws, &params, &mut obs);
         // band storage is tiny: (p+1)*n elements = 48; all accesses land
         // inside it, so the cold-miss count is bounded by its lines
         assert!(stats.instances > 0);

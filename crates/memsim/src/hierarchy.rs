@@ -107,6 +107,16 @@ impl Hierarchy {
         self.levels.len()
     }
 
+    /// Touch a batch of byte addresses in order. Equivalent to calling
+    /// [`Hierarchy::access`] per address (identical stats and cycles),
+    /// but amortizes the call overhead for streamed traces — the
+    /// compiled execution engine delivers its access buffer here.
+    pub fn access_many(&mut self, addrs: &[u64]) {
+        for &a in addrs {
+            self.access(a);
+        }
+    }
+
     /// Per-level statistics, fastest first.
     pub fn level_stats(&self) -> Vec<LevelStats> {
         self.levels.iter().map(Cache::stats).collect()

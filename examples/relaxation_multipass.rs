@@ -16,7 +16,7 @@
 
 use data_shackle::core::{check_legality, Blocking, CutSet, Shackle};
 use data_shackle::exec::multipass::execute_multipass;
-use data_shackle::exec::{execute, NullObserver, Workspace};
+use data_shackle::exec::{execute_compiled, NullObserver, Workspace};
 use data_shackle::ir::{kernels, ArrayRef};
 use data_shackle::polyhedra::num::ceil_div;
 use std::collections::BTreeMap;
@@ -52,7 +52,7 @@ fn main() {
     let init = |_: &str, idx: &[usize]| ((idx[0] * 13) % 17) as f64 / 17.0 + 1.0;
 
     let mut reference = Workspace::for_program(&program, &params, init);
-    execute(&program, &mut reference, &params, &mut NullObserver);
+    execute_compiled(&program, &mut reference, &params, &mut NullObserver);
 
     let mut ws = Workspace::for_program(&program, &params, init);
     let run = execute_multipass(&program, &mut ws, &params, |inst| {

@@ -5,7 +5,7 @@
 //! operation sequence the interpreter does).
 
 use data_shackle::core::scan::generate_scanned;
-use data_shackle::exec::{execute, NullObserver, Workspace};
+use data_shackle::exec::{execute_compiled, NullObserver, Workspace};
 use data_shackle::ir::emit::{emit, Dialect};
 use data_shackle::ir::kernels;
 use data_shackle::kernels::shackles;
@@ -44,7 +44,7 @@ fn emitted_rust_matches_interpreter_bit_for_bit() {
     let mut ws = Workspace::for_program(&blocked, &params, |_, idx| {
         init_value(n as usize, idx[0], idx[1])
     });
-    execute(&blocked, &mut ws, &params, &mut NullObserver);
+    execute_compiled(&blocked, &mut ws, &params, &mut NullObserver);
     let expect = checksum(&ws, "A");
 
     // --- emitted side ---
