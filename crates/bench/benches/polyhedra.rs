@@ -1,0 +1,80 @@
+//! Criterion benches of the memoized polyhedral query engine on the
+//! dependence systems of the right-looking Cholesky kernel — the exact
+//! workload the auto-shackle search hammers. Three regimes per query:
+//! uncached (engine flag off, pre-memoization pipeline), cold (engine
+//! on, cache cleared), and warm (every query a cache hit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shackle_ir::deps::dependences;
+use shackle_ir::kernels;
+use shackle_polyhedra::{cache, System};
+
+fn cholesky_systems() -> Vec<System> {
+    dependences(&kernels::cholesky_right())
+        .iter()
+        .flat_map(|d| d.systems.iter().cloned())
+        .collect()
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let systems = cholesky_systems();
+    let mut g = c.benchmark_group("polyhedra_feasibility");
+    g.sample_size(10);
+    g.bench_function("cholesky_uncached", |b| {
+        let was = cache::set_cache_enabled(false);
+        b.iter(|| systems.iter().filter(|s| s.is_integer_feasible()).count());
+        cache::set_cache_enabled(was);
+    });
+    g.bench_function("cholesky_cold", |b| {
+        b.iter(|| {
+            cache::clear_cache();
+            systems.iter().filter(|s| s.is_integer_feasible()).count()
+        })
+    });
+    g.bench_function("cholesky_warm", |b| {
+        cache::clear_cache();
+        systems.iter().for_each(|s| {
+            s.is_integer_feasible();
+        });
+        b.iter(|| systems.iter().filter(|s| s.is_integer_feasible()).count())
+    });
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let systems = cholesky_systems();
+    // project each dependence system onto its first two variables (the
+    // outer source iterators), as the span analysis does
+    let project_all = |systems: &[System]| -> usize {
+        systems
+            .iter()
+            .map(|s| {
+                let keep: Vec<&str> = s.vars().iter().take(2).map(|v| v.as_str()).collect();
+                let (p, _) = s.project_onto(&keep);
+                p.constraints().len()
+            })
+            .sum()
+    };
+    let mut g = c.benchmark_group("polyhedra_projection");
+    g.sample_size(10);
+    g.bench_function("cholesky_uncached", |b| {
+        let was = cache::set_cache_enabled(false);
+        b.iter(|| project_all(&systems));
+        cache::set_cache_enabled(was);
+    });
+    g.bench_function("cholesky_cold", |b| {
+        b.iter(|| {
+            cache::clear_cache();
+            project_all(&systems)
+        })
+    });
+    g.bench_function("cholesky_warm", |b| {
+        cache::clear_cache();
+        project_all(&systems);
+        b.iter(|| project_all(&systems))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_feasibility, bench_projection);
+criterion_main!(benches);

@@ -23,78 +23,14 @@ use shackle_kernels::trace::trace_execution;
 use shackle_memsim::{Hierarchy, PerfModel};
 use std::collections::BTreeMap;
 
-/// Deterministic parallel sweeps over figure points.
+/// Deterministic parallel sweeps (re-exported from `shackle_core`).
 ///
-/// Every figure evaluates an embarrassingly parallel list of
-/// independent simulations (one per problem size / bandwidth /
-/// program variant). [`par::map`] fans them out over scoped threads —
-/// thread count from `SHACKLE_THREADS`, defaulting to the machine's
-/// available parallelism — and reassembles results **by input index**,
-/// so the output is byte-identical to a serial run regardless of
-/// thread count or completion order.
-pub mod par {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::mpsc;
+/// The index-slotted scoped-thread map lives in [`shackle_core::par`]
+/// so the compile-time search and the figure sweeps share one
+/// implementation; `SHACKLE_THREADS` controls both.
+pub use shackle_core::par;
 
-    /// Worker threads to use: `SHACKLE_THREADS` if set to a positive
-    /// integer, otherwise the available parallelism (1 if unknown).
-    pub fn thread_count() -> usize {
-        std::env::var("SHACKLE_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-    }
-
-    /// Apply `f` to every item on [`thread_count`] scoped threads,
-    /// returning results in input order.
-    pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-        map_with(thread_count(), items, f)
-    }
-
-    /// As [`map`] with an explicit thread count. Results are collected
-    /// into their input slots, so any `threads` value yields the same
-    /// output as `threads == 1`. A worker panic propagates.
-    pub fn map_with<T: Sync, R: Send>(
-        threads: usize,
-        items: &[T],
-        f: impl Fn(&T) -> R + Sync,
-    ) -> Vec<R> {
-        let threads = threads.min(items.len()).max(1);
-        if threads == 1 {
-            return items.iter().map(&f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let (next, f) = (&next, &f);
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    if tx.send((i, f(&items[i]))).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-            for (i, r) in rx {
-                out[i] = Some(r);
-            }
-            out.into_iter()
-                .map(|r| r.expect("every item produces a result"))
-                .collect()
-        })
-    }
-}
+pub mod searchperf;
 
 /// The CPU-side cost model, calibrated to the paper's reported plateaus
 /// (see EXPERIMENTS.md). The *memory* side is always simulated from

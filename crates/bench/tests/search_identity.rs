@@ -1,0 +1,54 @@
+//! The memoized parallel auto-shackle search must be byte-identical to
+//! a serial run at any thread count, and to the uncached serial
+//! baseline pipeline — memoization and parallelism change the cost of
+//! the search, never its result.
+
+use shackle_bench::searchperf::{auto_search, Mode};
+use shackle_core::search::SearchConfig;
+use shackle_ir::kernels;
+use shackle_polyhedra::cache;
+use std::sync::Mutex;
+
+/// `SHACKLE_THREADS` and the engine flag are process-global.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn w8() -> SearchConfig {
+    SearchConfig {
+        width: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn matmul_report_identical_across_thread_counts() {
+    let _g = lock();
+    let p = kernels::matmul_ijk();
+    let ones = |_: &str, _: &[usize]| 1.0;
+    std::env::set_var("SHACKLE_THREADS", "1");
+    let serial = auto_search(&p, &w8(), 24, ones, Mode::Memoized);
+    std::env::set_var("SHACKLE_THREADS", "8");
+    let wide = auto_search(&p, &w8(), 24, ones, Mode::Memoized);
+    std::env::remove_var("SHACKLE_THREADS");
+    assert_eq!(serial.report, wide.report);
+    assert!(serial.products > 0);
+}
+
+#[test]
+fn cholesky_memoized_parallel_matches_uncached_serial_baseline() {
+    let _g = lock();
+    let p = kernels::cholesky_right();
+    let init = shackle_kernels::gen::spd_ws_init("A", 16, 3);
+    let was = cache::set_cache_enabled(false);
+    let base = auto_search(&p, &w8(), 16, &init, Mode::Baseline);
+    cache::set_cache_enabled(was);
+    cache::clear_cache();
+    std::env::set_var("SHACKLE_THREADS", "8");
+    let memo = auto_search(&p, &w8(), 16, &init, Mode::Memoized);
+    std::env::remove_var("SHACKLE_THREADS");
+    assert_eq!(base.report, memo.report);
+    assert!(memo.legal > 0);
+}

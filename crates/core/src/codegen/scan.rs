@@ -262,7 +262,10 @@ impl Scanner<'_> {
     }
 
     fn emit_leaf(&mut self, id: StmtId, context: &System) -> Vec<Node> {
-        let guards = self.full[id].gist(context).constraints();
+        // Sorted for engine-independent output (see `extract_bounds`).
+        let mut guards = self.full[id].gist(context).constraints();
+        guards.sort_by_cached_key(|c| c.to_string());
+        guards.dedup();
         let new_id = self.new_stmts.len();
         self.new_stmts.push(self.program.stmts()[id].clone());
         let node = Node::Stmt(new_id);
@@ -459,6 +462,19 @@ fn extract_bounds(dom: &System, d: &str) -> (Bound, Bound, Vec<Constraint>) {
         !lowers.is_empty() && !uppers.is_empty(),
         "loop dimension {d} is unbounded in {dom}"
     );
+    // Canonical order: the emitted text must not depend on the internal
+    // row order of `dom`, which varies with the engine's redundant-row
+    // pruning (`shackle_polyhedra::cache::set_cache_enabled`). Sorting
+    // by rendered form (then deduping) makes the generated program a
+    // function of the polyhedron alone.
+    let canon = |terms: &mut Vec<BoundTerm>| {
+        terms.sort_by_cached_key(|t| (t.div, t.expr.to_string()));
+        terms.dedup();
+    };
+    canon(&mut lowers);
+    canon(&mut uppers);
+    guards.sort_by_cached_key(|c: &Constraint| c.to_string());
+    guards.dedup();
     (Bound::new(lowers), Bound::new(uppers), guards)
 }
 

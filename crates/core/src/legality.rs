@@ -104,6 +104,44 @@ pub fn check_legality_with_deps(
     factors: &[Shackle],
     deps: &[Dependence],
 ) -> LegalityReport {
+    let ctx = LegalityContext::new(program, factors);
+    let mut violations = Vec::new();
+    for dep in deps {
+        if let Some(witness) = ctx.violation_witness(dep) {
+            violations.push(Violation {
+                dependence: dep.clone(),
+                witness,
+            });
+        }
+    }
+    LegalityReport {
+        dependences_checked: deps.len(),
+        violations,
+    }
+}
+
+/// Boolean-only legality with early exit: stops at the first violated
+/// dependence and orders probes cheapest-first, so illegal candidates
+/// are rejected after a single small feasibility query in the common
+/// case. The verdict is identical to
+/// `check_legality_with_deps(..).is_legal()` (probe order cannot change
+/// whether *some* probe is feasible); only the work done differs. This
+/// is the hot path of [`crate::search::enumerate_legal`].
+pub fn is_legal_with_deps(program: &Program, factors: &[Shackle], deps: &[Dependence]) -> bool {
+    LegalityContext::new(program, factors).is_legal(deps)
+}
+
+/// The pre-context-sharing Theorem-1 implementation: tie systems are
+/// rebuilt for every dependence and probes run in the fixed enumeration
+/// order with no early exit across dependences. Kept verbatim as the
+/// measured baseline for the memoized pipeline
+/// (`shackle-bench`'s `searchperf`) and as a differential-testing
+/// oracle; the verdict is identical to [`check_legality_with_deps`].
+pub fn check_legality_reference(
+    program: &Program,
+    factors: &[Shackle],
+    deps: &[Dependence],
+) -> LegalityReport {
     let mut violations = Vec::new();
     for dep in deps {
         let src_vars: Vec<String> = program
@@ -132,9 +170,6 @@ pub fn check_legality_with_deps(
             tgt_coords.extend(tz.iter().map(LinExpr::var));
         }
 
-        // Violated iff target's block strictly precedes source's.
-        // Reversed cut sets are already encoded by negated coordinates
-        // in `tie_for`, so the comparison is plain lexicographic.
         let bad_order = lex_lt(&tgt_coords, &src_coords, &[]);
         'dep: for order_disjunct in &dep.systems {
             let base = order_disjunct.and(&ties);
@@ -154,6 +189,131 @@ pub fn check_legality_with_deps(
     LegalityReport {
         dependences_checked: deps.len(),
         violations,
+    }
+}
+
+/// Shared per-candidate state of the Theorem-1 test: block-coordinate
+/// tie systems per statement (source- and target-prefixed) and the
+/// "target's block strictly precedes source's" disjunction. Building
+/// these once per candidate instead of once per dependence matters
+/// because every statement participates in several dependences.
+pub(crate) struct LegalityContext {
+    src_ties: Vec<System>,
+    tgt_ties: Vec<System>,
+    src_coords: Vec<LinExpr>,
+    tgt_coords: Vec<LinExpr>,
+    bad_order: Vec<System>,
+}
+
+impl LegalityContext {
+    pub(crate) fn new(program: &Program, factors: &[Shackle]) -> Self {
+        let n = program.stmts().len();
+        let mut ctx = Self {
+            src_ties: vec![System::new(); n],
+            tgt_ties: vec![System::new(); n],
+            src_coords: Vec::new(),
+            tgt_coords: Vec::new(),
+            bad_order: Vec::new(),
+        };
+        for (f, shackle) in factors.iter().enumerate() {
+            ctx.push_factor(program, shackle, f);
+        }
+        ctx.rebuild_bad_order();
+        ctx
+    }
+
+    /// The context for `factors ∪ {shackle}` given `self` built over
+    /// `factors` (of length `f`). Greedy product growth tests every
+    /// candidate extension of the same prefix, so sharing the prefix
+    /// ties and re-deriving only the new factor's turns an `O(f+1)`
+    /// rebuild per candidate into `O(1)` factor work.
+    pub(crate) fn extended(&self, program: &Program, shackle: &Shackle, f: usize) -> Self {
+        let mut ctx = Self {
+            src_ties: self.src_ties.clone(),
+            tgt_ties: self.tgt_ties.clone(),
+            src_coords: self.src_coords.clone(),
+            tgt_coords: self.tgt_coords.clone(),
+            bad_order: Vec::new(),
+        };
+        ctx.push_factor(program, shackle, f);
+        ctx.rebuild_bad_order();
+        ctx
+    }
+
+    fn push_factor(&mut self, program: &Program, shackle: &Shackle, f: usize) {
+        let sz = shackle.coord_names("s", f);
+        let tz = shackle.coord_names("t", f);
+        for sid in 0..program.stmts().len() {
+            let vars: Vec<String> = program
+                .context(sid)
+                .iter_vars()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            self.src_ties[sid].add_all(shackle.tie_for(
+                sid,
+                &sz,
+                &prefix_renamer(&vars, SRC_PREFIX),
+            ));
+            self.tgt_ties[sid].add_all(shackle.tie_for(
+                sid,
+                &tz,
+                &prefix_renamer(&vars, TGT_PREFIX),
+            ));
+        }
+        self.src_coords.extend(sz.iter().map(LinExpr::var));
+        self.tgt_coords.extend(tz.iter().map(LinExpr::var));
+    }
+
+    fn rebuild_bad_order(&mut self) {
+        // Violated iff target's block strictly precedes source's.
+        // Reversed cut sets are already encoded by negated coordinates
+        // in `tie_for`, so the comparison is plain lexicographic.
+        self.bad_order = lex_lt(&self.tgt_coords, &self.src_coords, &[]);
+    }
+
+    /// Early-exit boolean verdict over all dependences, cheapest first
+    /// (see [`is_legal_with_deps`]).
+    pub(crate) fn is_legal(&self, deps: &[Dependence]) -> bool {
+        // Cheapest dependences first: a violation in a small system is
+        // found long before the big ones are touched.
+        let mut order: Vec<&Dependence> = deps.iter().collect();
+        order.sort_by_key(|d| d.systems.iter().map(System::len).sum::<usize>());
+        order.iter().all(|dep| !self.is_violated(dep))
+    }
+
+    /// The first feasible probe for this dependence, in the fixed
+    /// (order-disjunct, bad-order-disjunct) enumeration order — the
+    /// witness reported by [`check_legality_with_deps`].
+    fn violation_witness(&self, dep: &Dependence) -> Option<System> {
+        let ties = self.src_ties[dep.src].and(&self.tgt_ties[dep.dst]);
+        for order_disjunct in &dep.systems {
+            let base = order_disjunct.and(&ties);
+            for bad in &self.bad_order {
+                let probe = base.and(bad);
+                if probe.is_integer_feasible() {
+                    return Some(probe);
+                }
+            }
+        }
+        None
+    }
+
+    /// Is any probe feasible? Probes are sorted by size so the cheapest
+    /// queries run first; since feasibility of *some* probe is
+    /// order-independent, the verdict matches [`Self::violation_witness`]
+    /// being `Some`.
+    fn is_violated(&self, dep: &Dependence) -> bool {
+        let ties = self.src_ties[dep.src].and(&self.tgt_ties[dep.dst]);
+        let mut probes: Vec<System> = Vec::new();
+        for order_disjunct in &dep.systems {
+            let base = order_disjunct.and(&ties);
+            for bad in &self.bad_order {
+                probes.push(base.and(bad));
+            }
+        }
+        probes.sort_by_key(System::len);
+        probes.iter().any(System::is_integer_feasible)
     }
 }
 

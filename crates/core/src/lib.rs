@@ -40,10 +40,14 @@ mod legality;
 mod shackle;
 
 pub mod codegen;
+pub mod par;
 pub mod search;
 pub mod span;
 
 pub use blocking::{Blocking, CutSet};
 pub use codegen::{naive, scan, simplify_ast};
-pub use legality::{check_legality, check_legality_with_deps, LegalityReport, Violation};
+pub use legality::{
+    check_legality, check_legality_reference, check_legality_with_deps, is_legal_with_deps,
+    LegalityReport, Violation,
+};
 pub use shackle::Shackle;

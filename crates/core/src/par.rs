@@ -1,0 +1,94 @@
+//! Deterministic parallel fan-out over scoped threads.
+//!
+//! Both the compile-time search ([`crate::search`]) and the benchmark
+//! harness evaluate embarrassingly parallel lists of independent items
+//! (candidate shackles to legality-check, products to score, figure
+//! points to simulate). [`map`] fans them out over scoped threads —
+//! thread count from `SHACKLE_THREADS`, defaulting to the machine's
+//! available parallelism — and reassembles results **by input index**,
+//! so the output is byte-identical to a serial run regardless of
+//! thread count or completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Worker threads to use: `SHACKLE_THREADS` if set to a positive
+/// integer, otherwise the available parallelism (1 if unknown).
+pub fn thread_count() -> usize {
+    std::env::var("SHACKLE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Apply `f` to every item on [`thread_count`] scoped threads,
+/// returning results in input order.
+pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    map_with(thread_count(), items, f)
+}
+
+/// As [`map`] with an explicit thread count. Results are collected
+/// into their input slots, so any `threads` value yields the same
+/// output as `threads == 1`. A worker panic propagates.
+pub fn map_with<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every item produces a result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_with_matches_serial_at_any_thread_count() {
+        let items: Vec<u64> = (0..101).collect();
+        let f = |x: &u64| x * x + 1;
+        let serial = map_with(1, &items, f);
+        for threads in [2, 3, 8, 200] {
+            assert_eq!(map_with(threads, &items, f), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_lists() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_with(4, &empty, |x| *x).is_empty());
+        assert_eq!(map_with(4, &[7u32], |x| x + 1), vec![8]);
+    }
+}

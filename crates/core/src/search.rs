@@ -22,7 +22,8 @@
 //! benchmark harness scores with the cache simulator; see the
 //! `auto_shackle` example).
 
-use crate::{check_legality_with_deps, span, Blocking, CutSet, Shackle};
+use crate::legality::LegalityContext;
+use crate::{is_legal_with_deps, par, span, Blocking, CutSet, Shackle};
 use shackle_ir::deps::{dependences, Dependence};
 use shackle_ir::{ArrayRef, Program, StmtId};
 
@@ -80,6 +81,47 @@ pub struct Candidate {
 /// ```
 pub fn enumerate_legal(program: &Program, config: &SearchConfig) -> Vec<Candidate> {
     let deps = dependences(program);
+    enumerate_legal_with_deps(program, config, &deps)
+}
+
+/// As [`enumerate_legal`], reusing precomputed dependences. Candidates
+/// are legality-checked in parallel over [`par`] workers (one early-exit
+/// Theorem-1 test each) and reassembled in enumeration order, so the
+/// result is identical at any `SHACKLE_THREADS` setting.
+pub fn enumerate_legal_with_deps(
+    program: &Program,
+    config: &SearchConfig,
+    deps: &[Dependence],
+) -> Vec<Candidate> {
+    let worklist = candidate_shackles(program, config);
+    let verdicts = par::map(&worklist, |shackle| {
+        is_legal_with_deps(program, std::slice::from_ref(shackle), deps)
+    });
+    let mut out: Vec<Candidate> = Vec::new();
+    for (shackle, legal) in worklist.into_iter().zip(verdicts) {
+        if !legal {
+            continue;
+        }
+        // dedupe across dimension orders with identical refs
+        if out.iter().any(|c| c.shackle == shackle) {
+            continue;
+        }
+        let unconstrained = span::unconstrained_refs(program, std::slice::from_ref(&shackle));
+        out.push(Candidate {
+            shackle,
+            unconstrained,
+        });
+    }
+    out
+}
+
+/// The raw candidate worklist of [`enumerate_legal`], *before* the
+/// legality filter, in the search's deterministic enumeration order
+/// (array declaration order × dimension orders × per-statement
+/// reference cross product). Exposed so harnesses can drive the same
+/// space through a different legality strategy (e.g. the uncached
+/// serial baseline of the performance report).
+pub fn candidate_shackles(program: &Program, config: &SearchConfig) -> Vec<Shackle> {
     let arrays: Vec<String> = config.arrays.clone().unwrap_or_else(|| {
         program
             .arrays()
@@ -130,20 +172,7 @@ pub fn enumerate_legal(program: &Program, config: &SearchConfig) -> Vec<Candidat
                     .iter()
                     .map(|&d| CutSet::axis(d, rank, config.width))
                     .collect();
-                let shackle = Shackle::new(program, Blocking::new(&array, cuts), combo.clone());
-                if check_legality_with_deps(program, std::slice::from_ref(&shackle), &deps)
-                    .is_legal()
-                {
-                    let unconstrained =
-                        span::unconstrained_refs(program, std::slice::from_ref(&shackle));
-                    // dedupe across dimension orders with identical refs
-                    if !out.iter().any(|c: &Candidate| c.shackle == shackle) {
-                        out.push(Candidate {
-                            shackle,
-                            unconstrained,
-                        });
-                    }
-                }
+                out.push(Shackle::new(program, Blocking::new(&array, cuts), combo));
             }
         }
     }
@@ -191,26 +220,57 @@ pub fn complete_product(
     candidates: &[Candidate],
 ) -> Vec<Shackle> {
     let deps: Vec<Dependence> = dependences(program);
+    complete_product_with_deps(program, seed, candidates, &deps)
+}
+
+/// As [`complete_product`], reusing precomputed dependences. Each
+/// greedy round evaluates every candidate extension in parallel over
+/// [`par`] workers; the winner is the minimum of `(remaining
+/// unconstrained refs, enumeration index)`, exactly the serial greedy
+/// choice, so the grown product is identical at any thread count.
+pub fn complete_product_with_deps(
+    program: &Program,
+    seed: Vec<Shackle>,
+    candidates: &[Candidate],
+    deps: &[Dependence],
+) -> Vec<Shackle> {
     let mut product = seed;
     loop {
         let open = span::unconstrained_refs(program, &product);
         if open.is_empty() {
             return product;
         }
-        let mut best: Option<(usize, Vec<Shackle>)> = None;
-        for c in candidates {
-            let mut trial = product.clone();
-            trial.push(c.shackle.clone());
-            if !check_legality_with_deps(program, &trial, &deps).is_legal() {
-                continue;
-            }
-            let remaining = span::unconstrained_refs(program, &trial).len();
-            if remaining < open.len() && best.as_ref().is_none_or(|(b, _)| remaining < *b) {
-                best = Some((remaining, trial));
-            }
-        }
+        // The greedy winner is the minimum of `(remaining unconstrained
+        // refs, enumeration index)` over *legal* extensions. The
+        // geometric score needs no legality, so compute it for every
+        // candidate first (in parallel), then test legality lazily in
+        // ranked order: the first legal candidate IS the minimum, and
+        // the expensive Theorem-1 queries run for a handful of
+        // candidates instead of all of them. Every candidate extends
+        // the same prefix, so its Theorem-1 context is built once per
+        // round and extended per probe.
+        let ranked: Vec<(usize, usize)> = {
+            let mut v: Vec<(usize, usize)> = par::map(candidates, |c| {
+                let mut trial = product.clone();
+                trial.push(c.shackle.clone());
+                span::unconstrained_refs(program, &trial).len()
+            })
+            .into_iter()
+            .enumerate()
+            .map(|(i, rem)| (rem, i))
+            .filter(|&(rem, _)| rem < open.len())
+            .collect();
+            v.sort_unstable();
+            v
+        };
+        let prefix = LegalityContext::new(program, &product);
+        let best = ranked.into_iter().find(|&(_, i)| {
+            prefix
+                .extended(program, &candidates[i].shackle, product.len())
+                .is_legal(deps)
+        });
         match best {
-            Some((_, trial)) => product = trial,
+            Some((_, i)) => product.push(candidates[i].shackle.clone()),
             None => return product, // no candidate helps; stop
         }
     }
@@ -219,6 +279,7 @@ pub fn complete_product(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check_legality_with_deps;
     use shackle_ir::kernels;
 
     #[test]

@@ -1,0 +1,541 @@
+//! Memoized polyhedral queries: a thread-safe cache for Omega
+//! feasibility verdicts and Fourier–Motzkin projections, plus the
+//! [`PolyStats`] instrumentation counters.
+//!
+//! The compile-time pipeline (dependence analysis, Theorem-1 legality,
+//! Quilleré-style scanning) asks the same polyhedral questions over and
+//! over: every candidate shackle of the §8 search re-probes dependences
+//! that differ only in which disjunct of a lexicographic order is
+//! conjoined, and the scanner re-projects identical piece domains for
+//! every sibling loop nest. Both query families are *pure functions* of
+//! the constraint system, so the answers are memoized here behind the
+//! [`crate::System::is_integer_feasible`] and
+//! [`crate::System::project_onto`] entry points.
+//!
+//! # Keys
+//!
+//! * **Feasibility** is invariant under variable renaming and under the
+//!   order in which constraints were added, so its key is a *canonical
+//!   form*: the used variables are sorted by name, the (already
+//!   GCD-tightened) rows are permuted onto that order and sorted, and
+//!   the variable names themselves are dropped. Systems that differ
+//!   only by an order-preserving renaming or by constraint insertion
+//!   order (the common case for flow/anti/output dependences over the
+//!   same reference pair) therefore share one cache entry.
+//! * **Projection** returns a `System` whose textual variable order
+//!   feeds directly into generated code, so its key preserves the
+//!   insertion order of variables and rows exactly; only the `keep`
+//!   set is sorted (the computation never depends on `keep` order).
+//!   A hit returns byte-for-byte the system a fresh computation would
+//!   produce, which keeps codegen deterministic whether or not the
+//!   cache is enabled — and at any thread count.
+//!
+//! Shard locks are never held while a query runs: recursive queries
+//! (projection exactness checks re-enter the feasibility test) would
+//! otherwise deadlock. Two threads may race to compute the same entry;
+//! both compute the same pure value, so the duplicate insert is benign.
+
+use crate::{fm, omega, Rel, System};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
+
+/// Number of independent lock shards per cache; a small power of two so
+/// the hash → shard map is a mask.
+const SHARDS: usize = 16;
+
+/// FNV-1a as a `HashMap` hasher: keys are already high-entropy
+/// serialized systems, so SipHash's DoS resistance buys nothing here
+/// and its per-byte cost is pure overhead on kilobyte-sized keys.
+#[derive(Clone, Default)]
+struct FnvBuild;
+
+struct FnvHasher(u64);
+
+impl BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type Shard<V> = Mutex<HashMap<Vec<u8>, V, FnvBuild>>;
+
+static FEASIBILITY: LazyLock<Vec<Shard<bool>>> = LazyLock::new(new_shards);
+static PROJECTION: LazyLock<Vec<Shard<(System, bool)>>> = LazyLock::new(new_shards);
+static GIST: LazyLock<Vec<Shard<System>>> = LazyLock::new(new_shards);
+
+fn new_shards<V>() -> Vec<Shard<V>> {
+    (0..SHARDS)
+        .map(|_| Mutex::new(HashMap::default()))
+        .collect()
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+static FEAS_QUERIES: AtomicU64 = AtomicU64::new(0);
+static FEAS_HITS: AtomicU64 = AtomicU64::new(0);
+static PROJ_QUERIES: AtomicU64 = AtomicU64::new(0);
+static PROJ_HITS: AtomicU64 = AtomicU64::new(0);
+static GIST_QUERIES: AtomicU64 = AtomicU64::new(0);
+static GIST_HITS: AtomicU64 = AtomicU64::new(0);
+static SPLINTERS: AtomicU64 = AtomicU64::new(0);
+static DARK_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static FM_COMBINED: AtomicU64 = AtomicU64::new(0);
+static FM_PRUNED: AtomicU64 = AtomicU64::new(0);
+
+/// Counters describing the polyhedral work done since the last
+/// [`reset_stats`].
+///
+/// All counters are global (process-wide) and updated with relaxed
+/// atomics, so they are cheap enough to leave on permanently and are
+/// meaningful across worker threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PolyStats {
+    /// Non-trivial Omega feasibility queries through the cached entry
+    /// point (trivially contradictory / empty systems are answered
+    /// before counting).
+    pub feasibility_queries: u64,
+    /// Feasibility queries answered from the cache.
+    pub feasibility_hits: u64,
+    /// `project_onto` queries through the cached entry point.
+    pub projection_queries: u64,
+    /// Projection queries answered from the cache.
+    pub projection_hits: u64,
+    /// `gist` simplification queries through the cached entry point.
+    pub gist_queries: u64,
+    /// Gist queries answered from the cache.
+    pub gist_hits: u64,
+    /// Splinter subproblems explored by the Omega test (each one is a
+    /// full recursive solve).
+    pub splinters: u64,
+    /// Eliminations where the dark shadow had to be computed because
+    /// the real shadow was not provably exact.
+    pub dark_shadow_fallbacks: u64,
+    /// Lower×upper row pairs combined by Fourier–Motzkin elimination.
+    pub fm_rows_combined: u64,
+    /// Rows discarded (or tightened in place) by dominance pruning in
+    /// `System::push_row` instead of being kept as redundant rows.
+    pub fm_rows_pruned: u64,
+}
+
+impl PolyStats {
+    /// Fraction of feasibility queries served from the cache, in
+    /// `[0, 1]`; `0` when no queries ran.
+    pub fn feasibility_hit_rate(&self) -> f64 {
+        if self.feasibility_queries == 0 {
+            0.0
+        } else {
+            self.feasibility_hits as f64 / self.feasibility_queries as f64
+        }
+    }
+
+    /// Fraction of projection queries served from the cache, in
+    /// `[0, 1]`; `0` when no queries ran.
+    pub fn projection_hit_rate(&self) -> f64 {
+        if self.projection_queries == 0 {
+            0.0
+        } else {
+            self.projection_hits as f64 / self.projection_queries as f64
+        }
+    }
+
+    /// Fraction of gist queries served from the cache, in `[0, 1]`;
+    /// `0` when no queries ran.
+    pub fn gist_hit_rate(&self) -> f64 {
+        if self.gist_queries == 0 {
+            0.0
+        } else {
+            self.gist_hits as f64 / self.gist_queries as f64
+        }
+    }
+}
+
+/// Snapshot the global counters.
+pub fn stats() -> PolyStats {
+    PolyStats {
+        feasibility_queries: FEAS_QUERIES.load(Ordering::Relaxed),
+        feasibility_hits: FEAS_HITS.load(Ordering::Relaxed),
+        projection_queries: PROJ_QUERIES.load(Ordering::Relaxed),
+        projection_hits: PROJ_HITS.load(Ordering::Relaxed),
+        gist_queries: GIST_QUERIES.load(Ordering::Relaxed),
+        gist_hits: GIST_HITS.load(Ordering::Relaxed),
+        splinters: SPLINTERS.load(Ordering::Relaxed),
+        dark_shadow_fallbacks: DARK_FALLBACKS.load(Ordering::Relaxed),
+        fm_rows_combined: FM_COMBINED.load(Ordering::Relaxed),
+        fm_rows_pruned: FM_PRUNED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero all counters (the caches are left intact; see [`clear_cache`]).
+pub fn reset_stats() {
+    for c in [
+        &FEAS_QUERIES,
+        &FEAS_HITS,
+        &PROJ_QUERIES,
+        &PROJ_HITS,
+        &GIST_QUERIES,
+        &GIST_HITS,
+        &SPLINTERS,
+        &DARK_FALLBACKS,
+        &FM_COMBINED,
+        &FM_PRUNED,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Enable or disable memoization (it is on by default). Disabling does
+/// not clear existing entries; re-enabling reuses them. Returns the
+/// previous setting.
+pub fn set_cache_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::SeqCst)
+}
+
+/// Is memoization currently enabled?
+pub fn cache_enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// Drop every cached verdict and projection (counters are untouched;
+/// see [`reset_stats`]).
+pub fn clear_cache() {
+    for shard in FEASIBILITY.iter() {
+        shard.lock().expect("cache shard poisoned").clear();
+    }
+    for shard in PROJECTION.iter() {
+        shard.lock().expect("cache shard poisoned").clear();
+    }
+    for shard in GIST.iter() {
+        shard.lock().expect("cache shard poisoned").clear();
+    }
+}
+
+pub(crate) fn note_splinter() {
+    SPLINTERS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_dark_fallback() {
+    DARK_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_fm_combined(n: u64) {
+    FM_COMBINED.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn note_fm_pruned(n: u64) {
+    FM_PRUNED.fetch_add(n, Ordering::Relaxed);
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn shard_of(key: &[u8]) -> usize {
+    (fnv(key) as usize) & (SHARDS - 1)
+}
+
+fn lookup<V: Clone>(shards: &[Shard<V>], key: &[u8]) -> Option<V> {
+    let shard = &shards[shard_of(key)];
+    shard
+        .lock()
+        .expect("cache shard poisoned")
+        .get(key)
+        .cloned()
+}
+
+fn insert<V>(shards: &[Shard<V>], key: Vec<u8>, value: V) {
+    let idx = shard_of(&key);
+    shards[idx]
+        .lock()
+        .expect("cache shard poisoned")
+        .insert(key, value);
+}
+
+/// Zig-zag LEB128: one byte for the small coefficients that dominate
+/// shackling systems, so keys stay short (faster to hash and compare).
+fn push_i64(out: &mut Vec<u8>, v: i64) {
+    let mut z = ((v << 1) ^ (v >> 63)) as u64;
+    loop {
+        let b = (z & 0x7f) as u8;
+        z >>= 7;
+        if z == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Canonical, name-free key for feasibility: used columns sorted by
+/// variable name, rows permuted onto that order and sorted.
+fn feasibility_key(sys: &System) -> Vec<u8> {
+    let vars = sys.vars();
+    let mut used: Vec<usize> = (0..vars.len())
+        .filter(|&i| sys.rows().iter().any(|r| r.coeffs[i] != 0))
+        .collect();
+    used.sort_by(|&a, &b| vars[a].cmp(&vars[b]));
+
+    let rows = sys.rows();
+    let rel_of = |i: usize| match rows[i].rel {
+        Rel::Eq => 0u8,
+        Rel::Geq => 1u8,
+    };
+    // Sort row *indices* with a comparator reading straight out of the
+    // dense rows — same order as sorting materialized
+    // `(rel, permuted coeffs, constant)` tuples, without the per-row
+    // allocations.
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        rel_of(a)
+            .cmp(&rel_of(b))
+            .then_with(|| {
+                used.iter()
+                    .map(|&i| rows[a].coeffs[i])
+                    .cmp(used.iter().map(|&i| rows[b].coeffs[i]))
+            })
+            .then_with(|| rows[a].constant.cmp(&rows[b].constant))
+    });
+
+    let mut key = Vec::with_capacity(16 + rows.len() * (used.len() + 2) * 8);
+    push_i64(&mut key, used.len() as i64);
+    for i in idx {
+        key.push(rel_of(i));
+        push_i64(&mut key, rows[i].constant);
+        for &u in &used {
+            push_i64(&mut key, rows[i].coeffs[u]);
+        }
+    }
+    key
+}
+
+/// Append the system's variables and rows in insertion order — the
+/// exact-input serialization shared by the projection and gist keys.
+fn push_system(key: &mut Vec<u8>, sys: &System) {
+    push_i64(key, sys.vars().len() as i64);
+    for v in sys.vars() {
+        push_i64(key, v.len() as i64);
+        key.extend_from_slice(v.as_bytes());
+    }
+    push_i64(key, sys.rows().len() as i64);
+    for r in sys.rows() {
+        key.push(match r.rel {
+            Rel::Eq => 0u8,
+            Rel::Geq => 1u8,
+        });
+        push_i64(key, r.constant);
+        for &c in &r.coeffs {
+            push_i64(key, c);
+        }
+    }
+}
+
+/// Exact-input key for projection: the system's variables and rows in
+/// insertion order plus the sorted `keep` set. Two systems with equal
+/// keys are indistinguishable to `fm::project_onto`, so the cached
+/// result is byte-identical to a fresh computation.
+fn projection_key(sys: &System, keep: &[&str]) -> Vec<u8> {
+    let mut key = Vec::new();
+    push_system(&mut key, sys);
+    let mut keep: Vec<&str> = keep.to_vec();
+    keep.sort_unstable();
+    keep.dedup();
+    push_i64(&mut key, keep.len() as i64);
+    for k in keep {
+        push_i64(&mut key, k.len() as i64);
+        key.extend_from_slice(k.as_bytes());
+    }
+    key
+}
+
+/// Exact-input key for gist: both operands serialized in insertion
+/// order. As with projection, equal keys mean `simplify::gist` cannot
+/// distinguish the inputs, so the cached system is byte-identical to a
+/// fresh computation.
+fn gist_key(sys: &System, context: &System) -> Vec<u8> {
+    let mut key = Vec::new();
+    push_system(&mut key, sys);
+    push_system(&mut key, context);
+    key
+}
+
+/// Recursive-subproblem memoization for the Omega test: `Ok(verdict)`
+/// on a hit, `Err(key)` on a miss (store the computed verdict with
+/// [`sub_store`]). Shares the feasibility cache and counters, so the
+/// reported hit rate covers subproblems too.
+pub(crate) fn sub_lookup(sys: &System) -> Result<bool, Vec<u8>> {
+    FEAS_QUERIES.fetch_add(1, Ordering::Relaxed);
+    let key = feasibility_key(sys);
+    match lookup(&FEASIBILITY, &key) {
+        Some(v) => {
+            FEAS_HITS.fetch_add(1, Ordering::Relaxed);
+            Ok(v)
+        }
+        None => Err(key),
+    }
+}
+
+/// Store a subproblem verdict computed after a [`sub_lookup`] miss.
+pub(crate) fn sub_store(key: Vec<u8>, v: bool) {
+    insert(&FEASIBILITY, key, v);
+}
+
+/// Cached Omega feasibility (the implementation behind
+/// [`crate::System::is_integer_feasible`]).
+pub(crate) fn feasible(sys: &System) -> bool {
+    if sys.is_contradictory() {
+        return false;
+    }
+    if sys.rows().is_empty() {
+        return true;
+    }
+    FEAS_QUERIES.fetch_add(1, Ordering::Relaxed);
+    if !cache_enabled() {
+        return omega::is_integer_feasible(sys);
+    }
+    let key = feasibility_key(sys);
+    if let Some(v) = lookup(&FEASIBILITY, &key) {
+        FEAS_HITS.fetch_add(1, Ordering::Relaxed);
+        return v;
+    }
+    let v = omega::is_integer_feasible(sys);
+    insert(&FEASIBILITY, key, v);
+    v
+}
+
+/// Cached projection (the implementation behind
+/// [`crate::System::project_onto`]).
+pub(crate) fn project(sys: &System, keep: &[&str]) -> (System, bool) {
+    PROJ_QUERIES.fetch_add(1, Ordering::Relaxed);
+    if !cache_enabled() {
+        return fm::project_onto(sys, keep);
+    }
+    let key = projection_key(sys, keep);
+    if let Some(v) = lookup(&PROJECTION, &key) {
+        PROJ_HITS.fetch_add(1, Ordering::Relaxed);
+        return v;
+    }
+    let v = fm::project_onto(sys, keep);
+    insert(&PROJECTION, key, v.clone());
+    v
+}
+
+/// Cached gist (the implementation behind [`crate::System::gist`]).
+/// One hit replaces a per-constraint cascade of implication checks —
+/// each itself a feasibility query — which makes this the highest-
+/// leverage entry of the three for the code generator.
+pub(crate) fn gist(sys: &System, context: &System) -> System {
+    GIST_QUERIES.fetch_add(1, Ordering::Relaxed);
+    if !cache_enabled() {
+        return crate::simplify::gist(sys, context);
+    }
+    let key = gist_key(sys, context);
+    if let Some(v) = lookup(&GIST, &key) {
+        GIST_HITS.fetch_add(1, Ordering::Relaxed);
+        return v;
+    }
+    let v = crate::simplify::gist(sys, context);
+    insert(&GIST, key, v.clone());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constraint, LinExpr};
+
+    fn v(n: &str) -> LinExpr {
+        LinExpr::var(n)
+    }
+
+    /// Tests that toggle the global enable flag or read hit counters
+    /// must not interleave (the test harness is multi-threaded).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn feasibility_key_ignores_names_and_row_order() {
+        let mut a = System::new();
+        a.add(Constraint::ge(v("x"), LinExpr::constant(1)));
+        a.add(Constraint::le(v("x"), v("n")));
+        // same shape, renamed (preserving relative name order: n < x,
+        // m < z), added in a different order
+        let mut b = System::new();
+        b.add(Constraint::le(v("z"), v("m")));
+        b.add(Constraint::ge(v("z"), LinExpr::constant(1)));
+        assert_eq!(feasibility_key(&a), feasibility_key(&b));
+    }
+
+    #[test]
+    fn feasibility_key_separates_different_systems() {
+        let mut a = System::new();
+        a.add(Constraint::ge(v("x"), LinExpr::constant(1)));
+        let mut b = System::new();
+        b.add(Constraint::ge(v("x"), LinExpr::constant(2)));
+        assert_ne!(feasibility_key(&a), feasibility_key(&b));
+    }
+
+    #[test]
+    fn projection_key_distinguishes_keep_sets() {
+        let mut s = System::new();
+        s.add(Constraint::le(v("i"), v("n")));
+        s.add(Constraint::le(v("j"), v("i")));
+        let a = projection_key(&s, &["n"]);
+        let b = projection_key(&s, &["n", "j"]);
+        assert_ne!(a, b);
+        // keep order and duplicates do not matter
+        assert_eq!(
+            projection_key(&s, &["j", "n"]),
+            projection_key(&s, &["n", "j", "j"])
+        );
+    }
+
+    #[test]
+    fn cached_results_match_direct_computation() {
+        let mut s = System::new();
+        s.add(Constraint::ge(v("j"), v("b") * 25 - LinExpr::constant(24)));
+        s.add(Constraint::le(v("j"), v("b") * 25));
+        s.add(Constraint::ge(v("j"), LinExpr::constant(1)));
+        s.add(Constraint::le(v("j"), v("n")));
+
+        let direct_feas = omega::is_integer_feasible(&s);
+        let direct_proj = fm::project_onto(&s, &["j", "n"]);
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear_cache();
+        // miss then hit: both must equal the direct computation
+        assert_eq!(feasible(&s), direct_feas);
+        assert_eq!(feasible(&s), direct_feas);
+        assert_eq!(project(&s, &["j", "n"]), direct_proj);
+        assert_eq!(project(&s, &["j", "n"]), direct_proj);
+
+        let st = stats();
+        assert!(st.feasibility_hits >= 1);
+        assert!(st.projection_hits >= 1);
+    }
+
+    #[test]
+    fn disabling_bypasses_but_stays_correct() {
+        let mut s = System::new();
+        s.add(Constraint::eq(v("x") * 2, LinExpr::constant(3)));
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let was = set_cache_enabled(false);
+        assert!(!feasible(&s));
+        set_cache_enabled(was);
+        assert!(!feasible(&s));
+    }
+}

@@ -80,50 +80,70 @@ pub(crate) fn bound_profile(sys: &System, idx: usize) -> (usize, usize) {
 /// inequalities (exact elimination of equalities is the Omega test's job;
 /// this function is the raw FM kernel).
 pub(crate) fn eliminate(sys: &System, idx: usize, shadow: Shadow) -> System {
-    let mut lowers: Vec<Row> = Vec::new();
-    let mut uppers: Vec<Row> = Vec::new();
-    let mut rest: Vec<Row> = Vec::new();
+    eliminate_tracked(sys, idx, shadow).0
+}
+
+/// [`eliminate`], additionally reporting *pairwise exactness*: `true`
+/// when every combined lower/upper pair had a zero dark-shadow
+/// correction `(a-1)(b-1)`, in which case the real and dark shadows
+/// coincide and the real shadow is exactly the integer projection. This
+/// generalizes the syntactic [`elimination_exact`] test (all-unit lower
+/// *or* upper coefficients) to mixed rows where each *pair* contains a
+/// unit, letting the Omega test and `project_onto` skip the dark
+/// shadow / splinter machinery.
+pub(crate) fn eliminate_tracked(sys: &System, idx: usize, shadow: Shadow) -> (System, bool) {
+    // Equality rows are split into a Geq pair; everything else is
+    // partitioned by reference so the (hot) all-inequality case clones a
+    // row only when it actually enters the output.
+    let mut splits: Vec<Row> = Vec::new();
+    for r in sys.rows() {
+        if r.rel == Rel::Eq && r.coeffs[idx] != 0 {
+            let mut pos = r.clone();
+            pos.rel = Rel::Geq;
+            let mut neg = pos.clone();
+            for k in &mut neg.coeffs {
+                *k = -*k;
+            }
+            neg.constant = -neg.constant;
+            splits.push(pos);
+            splits.push(neg);
+        }
+    }
+    let mut lowers: Vec<&Row> = Vec::new();
+    let mut uppers: Vec<&Row> = Vec::new();
+    let mut rest: Vec<&Row> = Vec::new();
+    let mut split_iter = splits.iter();
     for r in sys.rows() {
         let c = r.coeffs[idx];
-        if c == 0 {
-            rest.push(r.clone());
-            continue;
-        }
-        match r.rel {
-            Rel::Geq => {
-                if c > 0 {
-                    lowers.push(r.clone());
-                } else {
-                    uppers.push(r.clone());
-                }
+        if r.rel == Rel::Eq && c != 0 {
+            let pos = split_iter.next().expect("split pair");
+            let neg = split_iter.next().expect("split pair");
+            if pos.coeffs[idx] > 0 {
+                lowers.push(pos);
+                uppers.push(neg);
+            } else {
+                uppers.push(pos);
+                lowers.push(neg);
             }
-            Rel::Eq => {
-                let mut pos = r.clone();
-                pos.rel = Rel::Geq;
-                let mut neg = pos.clone();
-                for k in &mut neg.coeffs {
-                    *k = -*k;
-                }
-                neg.constant = -neg.constant;
-                if pos.coeffs[idx] > 0 {
-                    lowers.push(pos);
-                    uppers.push(neg);
-                } else {
-                    uppers.push(pos);
-                    lowers.push(neg);
-                }
-            }
+        } else if c == 0 {
+            rest.push(r);
+        } else if c > 0 {
+            lowers.push(r);
+        } else {
+            uppers.push(r);
         }
     }
 
-    let mut out = System::with_vars(sys.vars().iter().cloned());
+    let mut out = System::with_vars_arc(sys.vars_arc());
     if sys.is_contradictory() {
         out.set_contradiction();
-        return out;
+        return (out, true);
     }
     for r in rest {
-        out.push_row(r);
+        out.push_row(r.clone());
     }
+    crate::cache::note_fm_combined((lowers.len() * uppers.len()) as u64);
+    let mut pairwise_exact = true;
     for lo in &lowers {
         let a = lo.coeffs[idx]; // > 0
         for up in &uppers {
@@ -136,9 +156,11 @@ pub(crate) fn eliminate(sys: &System, idx: usize, shadow: Shadow) -> System {
                 .map(|(&l, &u)| checked_combine(b, l, a, u))
                 .collect();
             let mut constant = checked_combine(b, lo.constant, a, up.constant);
+            let correction = (a - 1).checked_mul(b - 1).expect("dark shadow overflow");
+            pairwise_exact &= correction == 0;
             if shadow == Shadow::Dark {
                 // dark shadow: combined >= (a-1)(b-1)
-                constant -= (a - 1).checked_mul(b - 1).expect("dark shadow overflow");
+                constant -= correction;
             }
             debug_assert_eq!(coeffs[idx], 0);
             out.push_row(Row {
@@ -148,8 +170,15 @@ pub(crate) fn eliminate(sys: &System, idx: usize, shadow: Shadow) -> System {
             });
         }
     }
-    out.drop_var_column(idx);
-    out
+    // With the engine on, leave the (all-zero) column in place: dropping
+    // it would copy the shared variable universe at every elimination
+    // level. Dead columns are invisible to the solver's used-variable
+    // scan, to canonical cache keys, and to `project_onto` (which drops
+    // unused columns as it encounters them).
+    if !crate::cache::cache_enabled() {
+        out.drop_var_column(idx);
+    }
+    (out, pairwise_exact)
 }
 
 /// Project the system onto `keep`, eliminating every other variable.
@@ -257,15 +286,21 @@ pub fn project_onto(sys: &System, keep: &[&str]) -> (System, bool) {
             continue;
         }
         let (idx, _cost, ex) = best.expect("no candidate chosen");
-        let real = eliminate(&s, idx, Shadow::Real);
-        if !ex {
-            // The syntactic unit-coefficient test failed, but the
-            // elimination may still be exact: compare the real and dark
-            // shadows semantically. Since dark ⊆ integer-projection ⊆
-            // real always holds, equality of the two shadows proves the
-            // real shadow is exactly the integer projection. This is
-            // what makes block-coordinate variables (window constraints
+        let (real, pairwise) = eliminate_tracked(&s, idx, Shadow::Real);
+        // The pairwise-correction proof rides the engine flag so that
+        // baseline measurements (`cache::set_cache_enabled(false)`)
+        // exercise the pre-memoization semantic fallback.
+        let pairwise = pairwise && crate::cache::cache_enabled();
+        if !ex && !pairwise {
+            // The syntactic unit-coefficient and pairwise-correction
+            // tests both failed, but the elimination may still be
+            // exact: compare the real and dark shadows semantically.
+            // Since dark ⊆ integer-projection ⊆ real always holds,
+            // equality of the two shadows proves the real shadow is
+            // exactly the integer projection. This is what makes
+            // block-coordinate variables (window constraints
             // `e ≤ w·z ≤ e + w − 1`) exactly projectable.
+            crate::cache::note_dark_fallback();
             let dark = eliminate(&s, idx, Shadow::Dark);
             let real_in_dark = if dark.is_contradictory() {
                 // equal only if the real shadow is empty too
@@ -302,7 +337,9 @@ mod tests {
         s.add(Constraint::le(v("y"), LinExpr::constant(10)));
         let idx = s.var_index("x").unwrap();
         let e = eliminate(&s, idx, Shadow::Real);
-        assert!(e.var_index("x").is_none());
+        // with the engine on the column survives (all-zero); either way
+        // the variable must no longer constrain anything
+        assert!(!e.used_vars().iter().any(|v| v == "x"));
         assert!(e.eval(&|_| 1));
         assert!(e.eval(&|_| 10));
         assert!(!e.eval(&|_| 0));

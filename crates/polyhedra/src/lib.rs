@@ -49,12 +49,14 @@ mod constraint;
 mod expr;
 mod system;
 
+pub mod cache;
 pub mod fm;
 pub mod lex;
 pub mod num;
 pub mod omega;
 pub mod simplify;
 
+pub use cache::PolyStats;
 pub use constraint::{Constraint, Rel};
 pub use expr::LinExpr;
 pub use system::System;
@@ -62,9 +64,11 @@ pub use system::System;
 impl System {
     /// Decide integer feasibility with the Omega test.
     ///
-    /// See [`omega::is_integer_feasible`].
+    /// Verdicts are memoized on the system's canonical form (see
+    /// [`cache`]); the underlying decision procedure is
+    /// [`omega::is_integer_feasible`].
     pub fn is_integer_feasible(&self) -> bool {
-        omega::is_integer_feasible(self)
+        cache::feasible(self)
     }
 
     /// Find a concrete integer solution with all variables in
@@ -74,9 +78,11 @@ impl System {
     }
 
     /// Project onto the named variables (see [`fm::project_onto`]);
-    /// returns the projection and whether it is exact.
+    /// returns the projection and whether it is exact. Results are
+    /// memoized (see [`cache`]); a hit is byte-identical to a fresh
+    /// computation.
     pub fn project_onto(&self, keep: &[&str]) -> (System, bool) {
-        fm::project_onto(self, keep)
+        cache::project(self, keep)
     }
 
     /// Remove constraints implied by the others
@@ -86,8 +92,8 @@ impl System {
     }
 
     /// Constraints not already implied by `context`
-    /// (see [`simplify::gist`]).
+    /// (see [`simplify::gist`]); memoized via [`cache`].
     pub fn gist(&self, context: &System) -> System {
-        simplify::gist(self, context)
+        cache::gist(self, context)
     }
 }

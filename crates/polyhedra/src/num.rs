@@ -45,7 +45,12 @@ pub fn lcm(a: i64, b: i64) -> i64 {
     if a == 0 || b == 0 {
         return 0;
     }
-    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+    // checked_abs, not abs: the product can legitimately be i64::MIN
+    // (e.g. lcm(i64::MIN, 1)), whose absolute value does not fit.
+    (a / gcd(a, b))
+        .checked_mul(b)
+        .and_then(i64::checked_abs)
+        .expect("lcm overflow")
 }
 
 /// GCD of a slice, ignoring zeros; returns 0 for an all-zero slice.
@@ -153,6 +158,14 @@ mod tests {
     fn lcm_basics() {
         assert_eq!(lcm(0, 3), 0);
         assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lcm overflow")]
+    fn lcm_overflow_panics() {
+        // |i64::MIN| does not fit in i64; before checked_abs this
+        // wrapped to a negative value in release builds.
+        lcm(i64::MIN, 1);
     }
 
     #[test]

@@ -21,6 +21,12 @@ use crate::{Constraint, System};
 /// assert!(!implies(&s, &Constraint::ge(LinExpr::var("x"), LinExpr::constant(6))));
 /// ```
 pub fn implies(sys: &System, c: &Constraint) -> bool {
+    // Fast path (rides the engine flag, like the rest of the memoized
+    // query machinery): a single stored row syntactically dominating
+    // `c` proves the implication without an Omega query.
+    if crate::cache::cache_enabled() && (sys.dominates(c) || sys.dominates_pair(c)) {
+        return true;
+    }
     c.negate().iter().all(|branch| {
         let mut probe = sys.clone();
         probe.add(branch.clone());
@@ -55,14 +61,14 @@ pub fn remove_redundant(sys: &System) -> System {
         }
     }
     // preserve the full variable universe
-    let mut out = System::with_vars(sys.vars().iter().cloned());
+    let mut out = System::with_vars_arc(sys.vars_arc());
     out.add_all(cons);
     out
 }
 
 /// A system with the same variables that is unsatisfiable.
 fn contradiction_like(sys: &System) -> System {
-    let mut out = System::with_vars(sys.vars().iter().cloned());
+    let mut out = System::with_vars_arc(sys.vars_arc());
     out.add(Constraint::geq_zero(crate::LinExpr::constant(-1)));
     out
 }
@@ -95,6 +101,9 @@ pub fn gist(sys: &System, context: &System) -> System {
         // `g ∧ context` must stay empty; return a canonical false
         return contradiction_like(sys);
     }
+    if crate::cache::cache_enabled() {
+        return gist_dense(sys, context);
+    }
     let mut kept: Vec<Constraint> = sys.constraints();
     let mut i = kept.len();
     while i > 0 {
@@ -111,8 +120,46 @@ pub fn gist(sys: &System, context: &System) -> System {
             kept.remove(i);
         }
     }
-    let mut out = System::with_vars(sys.vars().iter().cloned());
+    let mut out = System::with_vars_arc(sys.vars_arc());
     out.add_all(kept);
+    out
+}
+
+/// The engine-flag fast variant of the [`gist`] loop: identical removal
+/// decisions (and therefore an identical result), but `rest` is
+/// assembled from dense rows instead of re-parsed sparse constraints,
+/// and a candidate already dominated by a single `context` row is
+/// dropped without building `rest` at all (if `context` alone implies
+/// it, so does `rest ∧ context`).
+fn gist_dense(sys: &System, context: &System) -> System {
+    let all = sys.constraints();
+    let mut keep = vec![true; all.len()];
+    let mut i = all.len();
+    while i > 0 {
+        i -= 1;
+        let candidate = &all[i];
+        if context.dominates(candidate) {
+            keep[i] = false;
+            continue;
+        }
+        let mut rest = System::with_vars_arc(sys.vars_arc());
+        for (j, row) in sys.rows().iter().enumerate() {
+            if keep[j] && j != i {
+                rest.push_row(row.clone());
+            }
+        }
+        let rest = rest.and(context);
+        if implies(&rest, candidate) {
+            keep[i] = false;
+        }
+    }
+    let mut out = System::with_vars_arc(sys.vars_arc());
+    out.add_all(
+        all.into_iter()
+            .zip(keep)
+            .filter(|&(_, k)| k)
+            .map(|(c, _)| c),
+    );
     out
 }
 

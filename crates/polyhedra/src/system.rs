@@ -4,6 +4,7 @@ use crate::num::{floor_div, gcd_slice};
 use crate::{Constraint, LinExpr, Rel};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense row: `coeffs · vars + constant (= | >=) 0`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,7 +50,12 @@ impl Row {
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct System {
-    vars: Vec<String>,
+    // `Arc` so that the solver's many intermediate systems share one
+    // allocation of the variable universe: cloning a system (the
+    // Omega test, `implies` probes, `and`) bumps a refcount instead of
+    // cloning every name; mutation goes through `Arc::make_mut` and
+    // copies only when actually shared.
+    vars: Arc<Vec<String>>,
     rows: Vec<Row>,
     contradiction: bool,
 }
@@ -64,7 +70,7 @@ impl System {
     /// An empty (universally true) system.
     pub fn new() -> Self {
         System {
-            vars: Vec::new(),
+            vars: Arc::new(Vec::new()),
             rows: Vec::new(),
             contradiction: false,
         }
@@ -81,6 +87,21 @@ impl System {
             s.ensure_var(&n.into());
         }
         s
+    }
+
+    /// A constraint-free system sharing an existing variable universe
+    /// (no per-name allocation; see the `vars` field).
+    pub(crate) fn with_vars_arc(vars: Arc<Vec<String>>) -> Self {
+        System {
+            vars,
+            rows: Vec::new(),
+            contradiction: false,
+        }
+    }
+
+    /// The shared handle to this system's variable universe.
+    pub(crate) fn vars_arc(&self) -> Arc<Vec<String>> {
+        Arc::clone(&self.vars)
     }
 
     /// Build a system from an iterator of constraints.
@@ -121,7 +142,7 @@ impl System {
         if let Some(i) = self.vars.iter().position(|v| v == name) {
             i
         } else {
-            self.vars.push(name.to_string());
+            Arc::make_mut(&mut self.vars).push(name.to_string());
             for r in &mut self.rows {
                 r.coeffs.push(0);
             }
@@ -208,8 +229,116 @@ impl System {
         if row.is_trivially_true() {
             return;
         }
-        if !self.rows.contains(&row) {
-            self.rows.push(row);
+        // Dominance pruning (Imbert-style, on normalized rows): a new row
+        // whose coefficient vector matches an existing row — directly or
+        // negated — is either redundant, tightens the existing row in
+        // place, or exposes a contradiction. Keeping only the dominant
+        // row shrinks every later Fourier–Motzkin product. Pruning rides
+        // the engine flag (`cache::set_cache_enabled`) so baseline
+        // measurements see pre-memoization row growth; the represented
+        // set is identical either way.
+        if !crate::cache::cache_enabled() {
+            // Pre-memoization behavior: exact-duplicate elimination only.
+            if !self.rows.contains(&row) {
+                self.rows.push(row);
+            }
+            return;
+        }
+        enum Act {
+            DropNew,
+            Contradict,
+            Replace(usize),
+            Tighten(usize, i64),
+        }
+        let mut act = None;
+        for (i, r) in self.rows.iter().enumerate() {
+            let same = r.coeffs == row.coeffs;
+            let negated = !same && r.coeffs.iter().zip(&row.coeffs).all(|(&a, &b)| a == -b);
+            if !same && !negated {
+                continue;
+            }
+            // `sum >= 0` iff the pair of constraints is consistent in the
+            // negated cases; in i128 to sidestep overflow.
+            let sum = r.constant as i128 + row.constant as i128;
+            act = Some(match (same, r.rel, row.rel) {
+                // e + c1 = 0 vs e + c2 = 0: equal or contradictory.
+                (true, Rel::Eq, Rel::Eq) => {
+                    if r.constant == row.constant {
+                        Act::DropNew
+                    } else {
+                        Act::Contradict
+                    }
+                }
+                // e + c1 >= 0 vs e + c2 >= 0: keep the smaller constant.
+                (true, Rel::Geq, Rel::Geq) => {
+                    if row.constant >= r.constant {
+                        Act::DropNew
+                    } else {
+                        Act::Tighten(i, row.constant)
+                    }
+                }
+                // e + c1 = 0 forces e = -c1; e + c2 >= 0 iff c2 >= c1.
+                (true, Rel::Eq, Rel::Geq) => {
+                    if row.constant >= r.constant {
+                        Act::DropNew
+                    } else {
+                        Act::Contradict
+                    }
+                }
+                // e + c1 >= 0 vs new e + c2 = 0: equality subsumes or
+                // contradicts the inequality.
+                (true, Rel::Geq, Rel::Eq) => {
+                    if r.constant >= row.constant {
+                        Act::Replace(i)
+                    } else {
+                        Act::Contradict
+                    }
+                }
+                // e + c1 = 0 vs -e + c2 = 0: consistent iff c1 = -c2.
+                (false, Rel::Eq, Rel::Eq) => {
+                    if sum == 0 {
+                        Act::DropNew
+                    } else {
+                        Act::Contradict
+                    }
+                }
+                // e + c1 >= 0 and -e + c2 >= 0: empty band iff c1+c2 < 0.
+                (false, Rel::Geq, Rel::Geq) => {
+                    if sum < 0 {
+                        Act::Contradict
+                    } else {
+                        continue; // a genuine two-sided bound: keep both
+                    }
+                }
+                (false, Rel::Eq, Rel::Geq) => {
+                    if sum >= 0 {
+                        Act::DropNew
+                    } else {
+                        Act::Contradict
+                    }
+                }
+                (false, Rel::Geq, Rel::Eq) => {
+                    if sum >= 0 {
+                        Act::Replace(i)
+                    } else {
+                        Act::Contradict
+                    }
+                }
+            });
+            break;
+        }
+        match act {
+            None => self.rows.push(row),
+            Some(Act::DropNew) => crate::cache::note_fm_pruned(1),
+            Some(Act::Contradict) => self.contradiction = true,
+            Some(Act::Replace(i)) => {
+                self.rows[i] = row;
+                crate::cache::note_fm_pruned(1);
+            }
+            Some(Act::Tighten(i, c)) => {
+                self.rows[i].constant = c;
+                crate::cache::note_fm_pruned(1);
+            }
         }
     }
 
@@ -220,8 +349,38 @@ impl System {
             out.contradiction = true;
             return out;
         }
-        for c in other.constraints() {
-            out.add(c);
+        if !crate::cache::cache_enabled() {
+            // Pre-memoization path: round-trip through sparse
+            // constraints (kept for baseline measurements).
+            for c in other.constraints() {
+                out.add(c);
+            }
+            return out;
+        }
+        // Dense conjunction: push the same rows in the same order as
+        // the sparse path — including its variable-universe growth
+        // order (within each row, unseen variables appear name-sorted)
+        // — without materializing string-keyed constraints.
+        let mut order: Vec<usize> = (0..other.vars.len()).collect();
+        order.sort_by(|&a, &b| other.vars[a].cmp(&other.vars[b]));
+        let mut map: Vec<Option<usize>> = other.vars.iter().map(|v| out.var_index(v)).collect();
+        for r in &other.rows {
+            for &j in &order {
+                if r.coeffs[j] != 0 && map[j].is_none() {
+                    map[j] = Some(out.ensure_var(&other.vars[j]));
+                }
+            }
+            let mut coeffs = vec![0i64; out.vars.len()];
+            for (j, &c) in r.coeffs.iter().enumerate() {
+                if c != 0 {
+                    coeffs[map[j].expect("mapped above")] = c;
+                }
+            }
+            out.push_row(Row {
+                coeffs,
+                constant: r.constant,
+                rel: r.rel,
+            });
         }
         out
     }
@@ -243,6 +402,151 @@ impl System {
             .collect()
     }
 
+    /// Syntactic domination: does some single row of `self` already
+    /// imply constraint `c`? Sound but incomplete — used as a fast path
+    /// in [`crate::simplify::implies`] to skip the Omega query for the
+    /// common case where `c` is (a weakening of) a stored row. The
+    /// check normalizes `c` exactly as [`Self::add`] would, so GCD
+    /// tightening is taken into account.
+    pub(crate) fn dominates(&self, c: &Constraint) -> bool {
+        if let Some(t) = c.constant_truth() {
+            return t;
+        }
+        let mut coeffs = vec![0i64; self.vars.len()];
+        for (v, k) in c.expr().iter() {
+            match self.var_index(v) {
+                Some(i) => coeffs[i] = k,
+                // a variable `self` knows nothing about: cannot be
+                // implied by a single row
+                None => return false,
+            }
+        }
+        let mut constant = c.expr().constant_part();
+        let g = gcd_slice(&coeffs);
+        if g == 0 {
+            return match c.rel() {
+                Rel::Eq => constant == 0,
+                Rel::Geq => constant >= 0,
+            };
+        }
+        if g > 1 {
+            match c.rel() {
+                Rel::Eq => {
+                    if constant % g != 0 {
+                        return false;
+                    }
+                    constant /= g;
+                }
+                Rel::Geq => constant = floor_div(constant, g),
+            }
+            for x in &mut coeffs {
+                *x /= g;
+            }
+        }
+        self.rows.iter().any(|r| {
+            let same = r.coeffs == coeffs;
+            let negated = !same && r.coeffs.iter().zip(&coeffs).all(|(&a, &b)| a == -b);
+            match (same, negated, r.rel, c.rel()) {
+                // e + rc = 0 pins e; c follows iff it holds at -rc.
+                (true, _, Rel::Eq, Rel::Eq) => r.constant == constant,
+                (true, _, Rel::Eq, Rel::Geq) => constant >= r.constant,
+                // e >= -rc >= -cc.
+                (true, _, Rel::Geq, Rel::Geq) => constant >= r.constant,
+                // -e + rc = 0 pins e = rc; evaluate c there.
+                (_, true, Rel::Eq, Rel::Eq) => r.constant + constant == 0,
+                (_, true, Rel::Eq, Rel::Geq) => r.constant + constant >= 0,
+                _ => false,
+            }
+        })
+    }
+
+    /// Sound-but-incomplete two-row implication: does some nonnegative
+    /// rational combination `λ1·r1 + λ2·r2` of two stored rows yield the
+    /// (Geq) candidate's coefficient vector with at least its constant
+    /// slack? This certifies transitive bound chains — `i ≤ j ∧ j ≤ N ⊨
+    /// i ≤ N` — without an Omega query. Exact integer arithmetic via
+    /// cross-multiplied 2×2 determinants (i128); equality rows admit
+    /// either sign of λ. Only `Geq` candidates are attempted.
+    pub(crate) fn dominates_pair(&self, c: &Constraint) -> bool {
+        if c.rel() != Rel::Geq {
+            return false;
+        }
+        let mut coeffs = vec![0i64; self.vars.len()];
+        for (v, k) in c.expr().iter() {
+            match self.var_index(v) {
+                Some(i) => coeffs[i] = k,
+                None => return false,
+            }
+        }
+        let mut constant = c.expr().constant_part();
+        let g = gcd_slice(&coeffs);
+        if g == 0 {
+            return constant >= 0;
+        }
+        if g > 1 {
+            constant = floor_div(constant, g);
+            for x in &mut coeffs {
+                *x /= g;
+            }
+        }
+        // Rows sharing a variable with the candidate; columns outside
+        // the candidate's support must cancel between the pair, so a row
+        // disjoint from the candidate can only contribute via such a
+        // cancellation partner — rare enough to ignore.
+        let relevant: Vec<&Row> = self
+            .rows
+            .iter()
+            .filter(|r| {
+                r.coeffs
+                    .iter()
+                    .zip(&coeffs)
+                    .any(|(&a, &b)| b != 0 && a != 0)
+            })
+            .collect();
+        for (i, r1) in relevant.iter().enumerate() {
+            for r2 in &relevant[i + 1..] {
+                // pick two columns giving an invertible 2×2 system
+                let mut piv = None;
+                'cols: for p in 0..coeffs.len() {
+                    for q in (p + 1)..coeffs.len() {
+                        let det = (r1.coeffs[p] as i128) * (r2.coeffs[q] as i128)
+                            - (r1.coeffs[q] as i128) * (r2.coeffs[p] as i128);
+                        if det != 0 {
+                            piv = Some((p, q, det));
+                            break 'cols;
+                        }
+                    }
+                }
+                let Some((p, q, det)) = piv else { continue };
+                // λ1 = det1/det, λ2 = det2/det (Cramer)
+                let det1 = (coeffs[p] as i128) * (r2.coeffs[q] as i128)
+                    - (coeffs[q] as i128) * (r2.coeffs[p] as i128);
+                let det2 = (r1.coeffs[p] as i128) * (coeffs[q] as i128)
+                    - (r1.coeffs[q] as i128) * (coeffs[p] as i128);
+                // sign conditions: λ ≥ 0 required for Geq rows
+                let s = if det < 0 { -1i128 } else { 1 };
+                if (r1.rel == Rel::Geq && s * det1 < 0) || (r2.rel == Rel::Geq && s * det2 < 0) {
+                    continue;
+                }
+                // verify every column: det·c = det1·r1 + det2·r2
+                let ok = (0..coeffs.len()).all(|k| {
+                    det * (coeffs[k] as i128)
+                        == det1 * (r1.coeffs[k] as i128) + det2 * (r2.coeffs[k] as i128)
+                });
+                if !ok {
+                    continue;
+                }
+                // constant slack: det·cc ≥ det1·c1 + det2·c2 (flip if det < 0)
+                let lhs = det * (constant as i128);
+                let rhs = det1 * (r1.constant as i128) + det2 * (r2.constant as i128);
+                if (det > 0 && lhs >= rhs) || (det < 0 && lhs <= rhs) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     pub(crate) fn rows(&self) -> &[Row] {
         &self.rows
     }
@@ -255,7 +559,7 @@ impl System {
     /// it).
     pub(crate) fn drop_var_column(&mut self, idx: usize) {
         debug_assert!(self.rows.iter().all(|r| r.coeffs[idx] == 0));
-        self.vars.remove(idx);
+        Arc::make_mut(&mut self.vars).remove(idx);
         for r in &mut self.rows {
             r.coeffs.remove(idx);
         }
@@ -280,7 +584,7 @@ impl System {
                 self.var_index(to).is_none(),
                 "rename_var would merge {from} into existing {to}"
             );
-            for v in &mut self.vars {
+            for v in Arc::make_mut(&mut self.vars) {
                 if v == from {
                     *v = to.to_string();
                 }
@@ -297,7 +601,7 @@ impl System {
         let new: Vec<String> = self.vars.iter().map(|v| f(v)).collect();
         let distinct: BTreeSet<&String> = new.iter().collect();
         assert_eq!(distinct.len(), new.len(), "rename_all must be injective");
-        self.vars = new;
+        self.vars = Arc::new(new);
     }
 
     /// Substitute an affine expression for a variable (exact; used when a
@@ -305,7 +609,7 @@ impl System {
     pub fn substitute(&self, name: &str, replacement: &LinExpr) -> System {
         let mut out = System::new();
         // keep variable universe stable (minus `name`, plus replacement's)
-        for v in &self.vars {
+        for v in self.vars.iter() {
             if v != name {
                 out.ensure_var(v);
             }
@@ -319,6 +623,56 @@ impl System {
         }
         for c in self.constraints() {
             out.add(c.substitute(name, replacement));
+        }
+        out
+    }
+
+    /// Dense variable substitution used by the Omega test's equality
+    /// elimination: rebuild the system with column `k` replaced by the
+    /// affine form `repl · vars + repl_const` (where `repl` is indexed
+    /// by this system's columns and `repl[k]` is ignored), optionally
+    /// appending one fresh variable with the given coefficient. Row
+    /// values, row order and variable order are exactly those of the
+    /// sparse path `self.substitute(...)` + column drop, so the two are
+    /// interchangeable; this one skips the string-keyed round trip.
+    pub(crate) fn substitute_col(
+        &self,
+        k: usize,
+        repl: &[i64],
+        repl_const: i64,
+        extra: Option<(&str, i64)>,
+    ) -> System {
+        let mut names: Vec<String> = Vec::with_capacity(self.vars.len() + 1);
+        for (i, v) in self.vars.iter().enumerate() {
+            if i != k {
+                names.push(v.clone());
+            }
+        }
+        if let Some((name, _)) = extra {
+            names.push(name.to_string());
+        }
+        let mut out = System::with_vars_arc(Arc::new(names));
+        if self.contradiction {
+            out.contradiction = true;
+            return out;
+        }
+        let n = out.vars.len();
+        for r in &self.rows {
+            let c = r.coeffs[k];
+            let mut coeffs = Vec::with_capacity(n);
+            for (i, &a) in r.coeffs.iter().enumerate() {
+                if i != k {
+                    coeffs.push(a + c * repl[i]);
+                }
+            }
+            if let Some((_, ec)) = extra {
+                coeffs.push(c * ec);
+            }
+            out.push_row(Row {
+                coeffs,
+                constant: r.constant + c * repl_const,
+                rel: r.rel,
+            });
         }
         out
     }

@@ -1,0 +1,115 @@
+//! Property tests for the memoized query engine: on random systems,
+//! every cached entry point (cold cache, warm cache) answers exactly
+//! as the uncached engine. The uncached pipeline is the oracle, so
+//! these cover the fast paths the engine flag enables — syntactic
+//! dominance in `implies`, pairwise-exact elimination, dense gist —
+//! against the pre-memoization implementations.
+
+use proptest::prelude::*;
+use shackle_polyhedra::{cache, Constraint, LinExpr, System};
+use std::sync::Mutex;
+
+/// The engine flag and the query cache are process-global; every case
+/// flips them, so cases from different tests must not interleave.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A random affine expression over x, y, z with small coefficients.
+fn lin_expr() -> impl Strategy<Value = LinExpr> {
+    (-3i64..=3, -3i64..=3, -3i64..=3, -6i64..=6).prop_map(|(a, b, c, k)| {
+        LinExpr::term("x", a) + LinExpr::term("y", b) + LinExpr::term("z", c) + LinExpr::constant(k)
+    })
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (lin_expr(), prop::bool::ANY).prop_map(|(e, eq)| {
+        if eq {
+            Constraint::eq_zero(e)
+        } else {
+            Constraint::geq_zero(e)
+        }
+    })
+}
+
+/// Random systems, deliberately *unboxed* (unlike `prop_omega`) so the
+/// solver also hits inexact eliminations and unbounded variables.
+fn system() -> impl Strategy<Value = System> {
+    prop::collection::vec(constraint(), 1..6).prop_map(System::from_constraints)
+}
+
+/// Render a system in a byte-comparable form (constraints in stored
+/// order plus the variable universe).
+fn fingerprint(sys: &System) -> String {
+    format!("{:?} |- {}", sys.vars(), sys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Feasibility: uncached == memoized-cold == memoized-warm.
+    #[test]
+    fn feasibility_agrees(sys in system()) {
+        let _g = lock();
+        let was = cache::set_cache_enabled(false);
+        let oracle = sys.is_integer_feasible();
+        cache::set_cache_enabled(true);
+        cache::clear_cache();
+        let cold = sys.is_integer_feasible();
+        let warm = sys.is_integer_feasible();
+        cache::set_cache_enabled(was);
+        prop_assert_eq!(oracle, cold, "cold cache diverged on {}", &sys);
+        prop_assert_eq!(oracle, warm, "warm cache diverged on {}", &sys);
+    }
+
+    /// Projection: same exactness flag and the same solution set. The
+    /// engine's redundant-row pruning may drop rows the uncached
+    /// pipeline keeps (e.g. a bound dominated by a tighter one), so
+    /// engine-vs-oracle is compared semantically; cold-vs-warm is still
+    /// byte-identical.
+    #[test]
+    fn projection_agrees(sys in system()) {
+        let _g = lock();
+        let was = cache::set_cache_enabled(false);
+        let (oracle, oracle_exact) = sys.project_onto(&["x", "y"]);
+        cache::set_cache_enabled(true);
+        cache::clear_cache();
+        let (cold, cold_exact) = sys.project_onto(&["x", "y"]);
+        let (warm, warm_exact) = sys.project_onto(&["x", "y"]);
+        cache::set_cache_enabled(was);
+        prop_assert_eq!(oracle_exact, cold_exact, "exactness flag diverged on {}", &sys);
+        prop_assert_eq!(cold_exact, warm_exact);
+        const BOX: i64 = 5;
+        for x in -BOX..=BOX {
+            for y in -BOX..=BOX {
+                let env = |v: &str| match v { "x" => x, "y" => y, _ => 0 };
+                prop_assert_eq!(
+                    oracle.eval(&env), cold.eval(&env),
+                    "projection diverged at ({}, {}) on {}", x, y, &sys
+                );
+            }
+        }
+        prop_assert_eq!(fingerprint(&cold), fingerprint(&warm));
+    }
+
+    /// Gist: the dense engine loop makes the same removal decisions as
+    /// the uncached loop, so the result is byte-identical.
+    #[test]
+    fn gist_agrees(sys in system(), ctx in system()) {
+        let _g = lock();
+        let was = cache::set_cache_enabled(false);
+        let oracle = sys.gist(&ctx);
+        cache::set_cache_enabled(true);
+        cache::clear_cache();
+        let cold = sys.gist(&ctx);
+        let warm = sys.gist(&ctx);
+        cache::set_cache_enabled(was);
+        prop_assert_eq!(
+            fingerprint(&oracle), fingerprint(&cold),
+            "gist diverged on {} % {}", &sys, &ctx
+        );
+        prop_assert_eq!(fingerprint(&cold), fingerprint(&warm));
+    }
+}
