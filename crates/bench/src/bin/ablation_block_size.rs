@@ -1,39 +1,62 @@
 //! Ablation: block-size selection (the §8 open problem — "determination
 //! of good block sizes can also be tricky").
 //!
-//! Sweeps the block width of the fully-blocked Cholesky product on the
-//! simulated SP-2 at a fixed problem size and prints simulated MFLOPS
-//! and misses per width, exposing the classic U-shape: tiny blocks
-//! cannot amortize reuse, oversized blocks stop fitting in the cache.
+//! Sweeps the block width of the fully-blocked Cholesky product at a
+//! fixed problem size and prints simulated MFLOPS and misses per width,
+//! exposing the classic U-shape: tiny blocks cannot amortize reuse,
+//! oversized blocks stop fitting in the cache.
+//!
+//! Each width's trace is captured **once** (`CompactTrace`) and every
+//! cache geometry is derived from a single stack pass: the SP-2 column
+//! reproduces the original direct-simulated numbers exactly, and the
+//! extra capacity columns show where each tiling choice stops fitting —
+//! the multi-configuration view the stack engine makes free.
 
 use shackle_bench::{model, par};
+use shackle_kernels::compact::CompactTrace;
 use shackle_kernels::shackles;
-use shackle_kernels::trace::trace_execution;
-use shackle_memsim::Hierarchy;
+use shackle_memsim::{CacheConfig, StackSim};
 use std::collections::BTreeMap;
 
 fn main() {
     let n = 300_i64;
     let p = shackle_ir::kernels::cholesky_right();
-    println!("Block-size ablation: fully-blocked Cholesky, n = {n}, simulated SP-2");
+    println!("Block-size ablation: fully-blocked Cholesky, n = {n}, one capture per width");
     println!(
-        "{:>8} {:>12} {:>14} {:>10}",
-        "width", "misses", "mem cycles", "MFLOPS"
+        "{:>8} {:>12} {:>14} {:>10} {:>9} {:>9} {:>9}",
+        "width", "misses", "mem cycles", "MFLOPS", "16K miss%", "64K miss%", "256K miss%"
     );
+    // the SP-2 L1 plus bracketing capacities, all derived per capture
+    let mk = |size: usize| CacheConfig {
+        size,
+        line: 128,
+        assoc: 4,
+        latency: 0,
+    };
+    let sp2 = mk(64 * 1024);
+    let grid = [mk(16 * 1024), sp2, mk(256 * 1024)];
     let widths = [2i64, 4, 8, 16, 32, 64, 128];
-    // each width is an independent simulation; sweep them in parallel
-    // and print in width order
+    // each width is an independent capture + stack pass; sweep them in
+    // parallel and print in width order
     let rows = par::map(&widths, |&width| {
         let factors = shackles::cholesky_product(&p, width);
         let blocked = shackle_core::scan::generate_scanned(&p, &factors);
         let params = BTreeMap::from([("N".to_string(), n)]);
         let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 5);
-        let mut h = Hierarchy::sp2_thin_node();
-        let stats = trace_execution(&blocked, &params, &init, &mut h);
-        let mflops = model::perf(model::SCALAR_CYCLES_PER_FLOP).mflops(stats.flops, h.cycles());
-        (h.level_stats()[0].misses, h.cycles(), mflops)
+        let (stats, trace) = CompactTrace::capture(&blocked, &params, &init);
+        let mut sim = StackSim::new(128, &grid);
+        trace.replay_stack(&mut sim);
+        let cycles = sim.cycles_for(&sp2, 60);
+        let mflops = model::perf(model::SCALAR_CYCLES_PER_FLOP).mflops(stats.flops, cycles);
+        let ratios: Vec<f64> = grid.iter().map(|c| sim.stats_for(c).miss_ratio()).collect();
+        (sim.stats_for(&sp2).misses, cycles, mflops, ratios)
     });
-    for (&width, (misses, cycles, mflops)) in widths.iter().zip(rows) {
-        println!("{width:>8} {misses:>12} {cycles:>14} {mflops:>10.2}");
+    for (&width, (misses, cycles, mflops, ratios)) in widths.iter().zip(rows) {
+        println!(
+            "{width:>8} {misses:>12} {cycles:>14} {mflops:>10.2} {:>8.2}% {:>8.2}% {:>8.2}%",
+            100.0 * ratios[0],
+            100.0 * ratios[1],
+            100.0 * ratios[2]
+        );
     }
 }

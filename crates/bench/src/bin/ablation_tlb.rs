@@ -16,10 +16,10 @@ fn main() {
     let blocked = shackle_core::scan::generate_scanned(&p, &shackles::cholesky_product(&p, 32));
     let params = BTreeMap::from([("N".to_string(), n)]);
     let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 5);
-    println!("TLB ablation: Cholesky n = {n}, simulated SP-2 (MFLOPS)");
+    println!("TLB ablation: Cholesky n = {n}, simulated SP-2");
     println!(
-        "{:<26} {:>12} {:>12}",
-        "configuration", "no TLB", "with TLB"
+        "{:<26} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "configuration", "no TLB", "with TLB", "TLB misses", "TLB miss%", "walk cycles"
     );
     for (label, prog) in [
         ("input right-looking", &p),
@@ -30,10 +30,14 @@ fn main() {
         let mut tlb = Hierarchy::sp2_thin_node().with_tlb(TlbConfig::power2_like());
         let s2 = trace_execution(prog, &params, &init, &mut tlb);
         let m = model::perf(model::SCALAR_CYCLES_PER_FLOP);
+        let ts = tlb.tlb_stats().expect("TLB attached");
         println!(
-            "{label:<26} {:>12.2} {:>12.2}",
+            "{label:<26} {:>12.2} {:>12.2} {:>12} {:>9.2}% {:>12}",
             m.mflops(s1.flops, plain.cycles()),
-            m.mflops(s2.flops, tlb.cycles())
+            m.mflops(s2.flops, tlb.cycles()),
+            ts.misses,
+            100.0 * ts.miss_ratio(),
+            tlb.tlb_walk_cycles(),
         );
     }
 }

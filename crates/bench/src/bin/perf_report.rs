@@ -13,6 +13,12 @@
 //! with the wall times, the speedup, and the `PolyStats` cache
 //! counters of the memoized run.
 //!
+//! Finally times the multi-configuration cache sweep through both
+//! simulator pipelines — the pre-stack-engine flow (re-execute the
+//! kernel and direct-simulate once per cache configuration) against
+//! capture-once + single stack pass — asserting bit-identical hit/miss
+//! counts per configuration, and writes `BENCH_memsim.json`.
+//!
 //! Run in release mode: `cargo run --release --bin perf_report`.
 
 use shackle_bench::searchperf::{auto_search, Mode, SearchOutcome};
@@ -150,6 +156,154 @@ fn main() {
     println!("\nwrote BENCH_exec.json");
 
     search_report();
+    memsim_report();
+}
+
+struct MemsimRow {
+    kernel: String,
+    n: i64,
+    accesses: u64,
+    configs: usize,
+    baseline_secs: f64,
+    stack_secs: f64,
+}
+
+/// Time one traced kernel through both sweep pipelines, asserting the
+/// per-configuration hit/miss counts are bit-identical.
+fn memsim_one(
+    kernel: &str,
+    program: &Program,
+    params: &BTreeMap<String, i64>,
+    n: i64,
+    init: impl Fn(&str, &[usize]) -> f64 + Sync,
+    grid: &[shackle_memsim::CacheConfig],
+) -> MemsimRow {
+    use shackle_kernels::compact::CompactTrace;
+    let reps = 2;
+
+    // Baseline: the pre-stack-engine figure flow — one kernel
+    // re-execution plus one direct LRU replay per configuration.
+    let mut baseline_stats = Vec::new();
+    let baseline_secs = best_secs(reps, || {
+        baseline_stats = grid
+            .iter()
+            .map(|&cfg| {
+                let mut h = shackle_memsim::Hierarchy::new(&[cfg], 60);
+                shackle_kernels::trace::trace_execution(program, params, &init, &mut h);
+                h.level_stats()[0]
+            })
+            .collect();
+    });
+
+    // Stack engine: capture the trace once, derive every configuration
+    // from a single Mattson pass.
+    let mut accesses = 0u64;
+    let mut stack_stats = Vec::new();
+    let stack_secs = best_secs(reps, || {
+        let (_, trace) = CompactTrace::capture(program, params, &init);
+        accesses = trace.len() as u64;
+        let mut sim = shackle_memsim::StackSim::new(grid[0].line, grid);
+        trace.replay_stack(&mut sim);
+        stack_stats = grid.iter().map(|c| sim.stats_for(c)).collect();
+    });
+
+    assert_eq!(
+        baseline_stats, stack_stats,
+        "stack engine must be bit-identical to the direct sweep on {kernel}"
+    );
+    MemsimRow {
+        kernel: kernel.to_string(),
+        n,
+        accesses,
+        configs: grid.len(),
+        baseline_secs,
+        stack_secs,
+    }
+}
+
+fn memsim_report() {
+    let kb = 1024;
+    let grid = shackle_bench::memsweep::config_grid(
+        128,
+        &[8 * kb, 16 * kb, 32 * kb, 64 * kb, 128 * kb, 256 * kb],
+        &[1, 2, 4],
+    );
+    let params_n = |n: i64| BTreeMap::from([("N".to_string(), n)]);
+
+    let chol = shackle_ir::kernels::cholesky_right();
+    let chol_blocked = shackle_core::scan::generate_scanned(
+        &chol,
+        &shackle_kernels::shackles::cholesky_product(&chol, 16),
+    );
+    let mm = shackle_ir::kernels::matmul_ijk();
+    let mm_blocked =
+        shackle_core::scan::generate_scanned(&mm, &shackle_kernels::shackles::matmul_ca(&mm, 8));
+    let rows = [
+        memsim_one("matmul_ijk", &mm, &params_n(48), 48, |_, _| 1.0, &grid),
+        memsim_one(
+            "matmul_blocked_w8",
+            &mm_blocked,
+            &params_n(48),
+            48,
+            |_, _| 1.0,
+            &grid,
+        ),
+        memsim_one(
+            "cholesky_right",
+            &chol,
+            &params_n(64),
+            64,
+            shackle_kernels::gen::spd_ws_init("A", 64, 3),
+            &grid,
+        ),
+        memsim_one(
+            "cholesky_blocked_w16",
+            &chol_blocked,
+            &params_n(64),
+            64,
+            shackle_kernels::gen::spd_ws_init("A", 64, 3),
+            &grid,
+        ),
+    ];
+
+    println!(
+        "\n{:<22} {:>5} {:>10} {:>8} {:>12} {:>12} {:>8}",
+        "memsim sweep", "n", "accesses", "configs", "baseline s", "stack s", "speedup"
+    );
+    let mut json = String::from("{\n  \"memsim\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.baseline_secs / r.stack_secs;
+        println!(
+            "{:<22} {:>5} {:>10} {:>8} {:>12.4} {:>12.4} {:>7.2}x",
+            r.kernel, r.n, r.accesses, r.configs, r.baseline_secs, r.stack_secs, speedup
+        );
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"accesses\": {}, \
+             \"configs\": {}, \"baseline_secs\": {:.6}, \
+             \"stack_secs\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.n,
+            r.accesses,
+            r.configs,
+            r.baseline_secs,
+            r.stack_secs,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let total_base: f64 = rows.iter().map(|r| r.baseline_secs).sum();
+    let total_stack: f64 = rows.iter().map(|r| r.stack_secs).sum();
+    let aggregate = total_base / total_stack;
+    println!(
+        "{:<22} {:>25} {:>12.4} {:>12.4} {:>7.2}x",
+        "aggregate", "", total_base, total_stack, aggregate
+    );
+    json.push_str(&format!(
+        "  ],\n  \"aggregate\": {{\"baseline_secs\": {total_base:.6}, \
+         \"stack_secs\": {total_stack:.6}, \"speedup\": {aggregate:.3}}}\n}}\n"
+    ));
+    std::fs::write("BENCH_memsim.json", &json).expect("write BENCH_memsim.json");
+    println!("wrote BENCH_memsim.json");
 }
 
 struct SearchRow {

@@ -1,0 +1,55 @@
+//! Multi-configuration cache sweep: one trace capture per block size,
+//! every cache geometry derived from a single stack pass.
+//!
+//! Sweeps the block width of the fully-blocked Cholesky product (plus
+//! the unblocked input code) and evaluates each trace against a whole
+//! size × associativity grid at the SP-2's 128-byte line — the regime
+//! of "which tiling wins on which machine" that the paper's §8 block
+//! size question opens. Each (kernel, width) pair executes exactly
+//! once; the grid of hit/miss counts comes from the Mattson stack
+//! engine and is bit-identical to direct per-configuration simulation
+//! (asserted continuously by `perf_report` and the proptests).
+//!
+//! `--quick` shrinks the problem size and width set (CI perf smoke).
+
+use shackle_bench::memsweep::{config_grid, render_sweep, sweep_programs};
+use shackle_ir::Program;
+use shackle_kernels::shackles;
+use std::collections::BTreeMap;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: i64 = if quick { 96 } else { 250 };
+    let widths: &[i64] = if quick { &[8, 32] } else { &[4, 8, 16, 32, 64] };
+
+    let p = shackle_ir::kernels::cholesky_right();
+    let mut points: Vec<(String, Program)> = vec![("input".to_string(), p.clone())];
+    for &w in widths {
+        let blocked = shackle_core::scan::generate_scanned(&p, &shackles::cholesky_product(&p, w));
+        points.push((format!("blocked w={w}"), blocked));
+    }
+
+    // the SP-2 line with capacities bracketing its 64 KB L1
+    let kb = 1024;
+    let grid = config_grid(
+        128,
+        &[8 * kb, 16 * kb, 32 * kb, 64 * kb, 128 * kb, 256 * kb],
+        &[1, 2, 4],
+    );
+
+    let params = BTreeMap::from([("N".to_string(), n)]);
+    let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 11);
+    let rows = sweep_programs(&points, &params, &init, &grid);
+    print!(
+        "{}",
+        render_sweep(
+            &format!(
+                "Multi-configuration sweep: Cholesky n = {n}, miss ratio per \
+                 cache geometry (128 B lines, one stack pass per trace)"
+            ),
+            "variant",
+            &grid,
+            &rows
+        )
+    );
+}

@@ -30,6 +30,7 @@ use std::collections::BTreeMap;
 /// implementation; `SHACKLE_THREADS` controls both.
 pub use shackle_core::par;
 
+pub mod memsweep;
 pub mod searchperf;
 
 /// The CPU-side cost model, calibrated to the paper's reported plateaus

@@ -1,0 +1,206 @@
+//! Multi-configuration cache sweeps: capture once, derive every
+//! geometry.
+//!
+//! The figure harnesses evaluate tiling choices against cache
+//! geometries. The pre-stack-engine flow re-executed the kernel and
+//! replayed its full trace through a direct LRU simulation once per
+//! configuration; this module captures each (kernel, block-size) trace
+//! once as a [`CompactTrace`] and derives exact hit/miss counts for an
+//! entire size × associativity grid from a single Mattson stack pass
+//! ([`StackSim`]) — bit-identical to the direct simulation, measured
+//! and asserted by `perf_report` (`BENCH_memsim.json`).
+//!
+//! Sweep points fan out over `SHACKLE_THREADS` like every other figure
+//! sweep ([`crate::par`]); results are assembled in input order, so the
+//! rendered tables are byte-identical at any thread count.
+
+use shackle_ir::Program;
+use shackle_kernels::compact::CompactTrace;
+use shackle_memsim::{CacheConfig, LevelStats, StackSim};
+use std::collections::BTreeMap;
+
+/// Build the configuration grid: every `size × assoc` combination at
+/// the given line size whose set count comes out a power of two (the
+/// stack engine's domain — which is every realistic geometry).
+pub fn config_grid(line: usize, sizes: &[usize], assocs: &[usize]) -> Vec<CacheConfig> {
+    let mut grid = Vec::new();
+    for &size in sizes {
+        for &assoc in assocs {
+            if size % (line * assoc) != 0 {
+                continue;
+            }
+            let sets = size / line / assoc;
+            if !sets.is_power_of_two() {
+                continue;
+            }
+            grid.push(CacheConfig {
+                size,
+                line,
+                assoc,
+                latency: 0,
+            });
+        }
+    }
+    grid
+}
+
+/// One sweep point: a labelled trace evaluated against the whole grid.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Point label (e.g. the block width).
+    pub label: String,
+    /// Accesses in the trace.
+    pub accesses: u64,
+    /// Per-configuration stats, in grid order.
+    pub stats: Vec<LevelStats>,
+}
+
+/// Derive the whole grid from one captured trace with a single stack
+/// pass.
+pub fn sweep_trace(label: &str, trace: &CompactTrace, grid: &[CacheConfig]) -> SweepRow {
+    let line = grid.first().expect("empty grid").line;
+    let mut sim = StackSim::new(line, grid);
+    trace.replay_stack(&mut sim);
+    SweepRow {
+        label: label.to_string(),
+        accesses: trace.len() as u64,
+        stats: grid.iter().map(|c| sim.stats_for(c)).collect(),
+    }
+}
+
+/// Capture each labelled program once and sweep it against the grid,
+/// fanning the points out over `SHACKLE_THREADS` (deterministic,
+/// input-ordered results).
+pub fn sweep_programs(
+    points: &[(String, Program)],
+    params: &BTreeMap<String, i64>,
+    init: impl Fn(&str, &[usize]) -> f64 + Sync,
+    grid: &[CacheConfig],
+) -> Vec<SweepRow> {
+    crate::par::map(points, |(label, program)| {
+        let (_, trace) = CompactTrace::capture(program, params, &init);
+        sweep_trace(label, &trace, grid)
+    })
+}
+
+/// Render a sweep as an aligned text table: one row per point, one
+/// `size(KB)/assoc` column per configuration, cells are miss ratios in
+/// percent.
+pub fn render_sweep(
+    title: &str,
+    rowlabel: &str,
+    grid: &[CacheConfig],
+    rows: &[SweepRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{rowlabel:>16} {:>12}", "accesses"));
+    for c in grid {
+        out.push_str(&format!(
+            "  {:>9}",
+            format!("{}K/{}w", c.size / 1024, c.assoc)
+        ));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:>16} {:>12}", r.label, r.accesses));
+        for s in &r.stats {
+            out.push_str(&format!("  {:>8.2}%", 100.0 * s.miss_ratio()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shackle_kernels::shackles;
+
+    fn grid_small() -> Vec<CacheConfig> {
+        config_grid(64, &[1024, 4096, 16384], &[1, 2, 4])
+    }
+
+    #[test]
+    fn grid_filters_to_power_of_two_sets() {
+        let g = config_grid(64, &[1024, 3 * 1024], &[1, 2, 3]);
+        // 3 KB and 3-way combinations with non-power-of-two set counts
+        // are dropped; everything kept validates
+        assert!(g.iter().all(|c| c.sets().is_power_of_two()));
+        assert!(g.contains(&CacheConfig {
+            size: 1024,
+            line: 64,
+            assoc: 1,
+            latency: 0
+        }));
+        // 3 KB direct-mapped = 48 sets: not a power of two
+        assert!(!g.iter().any(|c| c.size == 3 * 1024 && c.assoc == 1));
+    }
+
+    #[test]
+    fn stack_sweep_matches_direct_per_config() {
+        let p = shackle_ir::kernels::matmul_ijk();
+        let params = BTreeMap::from([("N".to_string(), 12i64)]);
+        let (_, trace) = CompactTrace::capture(&p, &params, |_, _| 1.0);
+        let grid = grid_small();
+        let row = sweep_trace("matmul", &trace, &grid);
+        for (cfg, s) in grid.iter().zip(&row.stats) {
+            let mut c = shackle_memsim::Cache::new(*cfg);
+            trace.replay_cache(&mut c);
+            assert_eq!(*s, c.stats(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn blocking_wins_across_the_grid_where_it_should() {
+        // the whole point of the sweep: one capture per variant decides
+        // every geometry; the blocked trace must miss less on caches
+        // that hold a few blocks but not the full matrices
+        let p = shackle_ir::kernels::matmul_ijk();
+        let blocked = shackle_core::scan::generate_scanned(&p, &shackles::matmul_ca(&p, 8));
+        let params = BTreeMap::from([("N".to_string(), 48i64)]);
+        let grid = grid_small();
+        let points = vec![("input".to_string(), p), ("blocked".to_string(), blocked)];
+        let rows = sweep_programs(&points, &params, |_, _| 1.0, &grid);
+        let mid = grid
+            .iter()
+            .position(|c| c.size == 4096 && c.assoc == 4)
+            .unwrap();
+        assert!(
+            rows[1].stats[mid].misses * 2 < rows[0].stats[mid].misses,
+            "blocked {} vs input {}",
+            rows[1].stats[mid].misses,
+            rows[0].stats[mid].misses
+        );
+    }
+
+    #[test]
+    fn sweep_is_byte_identical_serial_vs_parallel() {
+        let p = shackle_ir::kernels::matmul_ijk();
+        let params = BTreeMap::from([("N".to_string(), 16i64)]);
+        let grid = grid_small();
+        let points: Vec<(String, Program)> = (0..4)
+            .map(|w| {
+                let b =
+                    shackle_core::scan::generate_scanned(&p, &shackles::matmul_ca(&p, 4 + 4 * w));
+                (format!("w{}", 4 + 4 * w), b)
+            })
+            .collect();
+        std::env::set_var("SHACKLE_THREADS", "1");
+        let serial = render_sweep(
+            "t",
+            "width",
+            &grid,
+            &sweep_programs(&points, &params, |_, _| 1.0, &grid),
+        );
+        std::env::set_var("SHACKLE_THREADS", "4");
+        let parallel = render_sweep(
+            "t",
+            "width",
+            &grid,
+            &sweep_programs(&points, &params, |_, _| 1.0, &grid),
+        );
+        std::env::remove_var("SHACKLE_THREADS");
+        assert_eq!(serial, parallel);
+    }
+}

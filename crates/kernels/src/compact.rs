@@ -1,0 +1,313 @@
+//! Capture-once / replay-many execution traces.
+//!
+//! Every point of a figure sweep used to re-execute its kernel once per
+//! cache configuration just to regenerate the same address stream. A
+//! [`CompactTrace`] captures that stream once — as 32-bit IDs at a fixed
+//! power-of-two granularity — and replays it into any number of
+//! simulators: direct [`Hierarchy`]s, standalone [`Cache`]s, or a
+//! [`StackSim`] that derives a whole configuration family from a single
+//! pass.
+//!
+//! Quantizing to a granularity `g` that divides every line and page
+//! size of interest is lossless for cache simulation: a level with line
+//! size `L` (a multiple of `g`) sees line ID `⌊addr / L⌋ =
+//! ⌊(g·⌊addr/g⌋) / L⌋`, so the replayed stream produces bit-identical
+//! hit/miss counts and cycles. The default granularity is the element
+//! size (8 bytes), which makes the quantization the identity for this
+//! workspace's traces; a trace of `N` accesses occupies `4N` bytes
+//! instead of `8N` for raw addresses.
+
+use crate::trace::{AddressMap, ELEM_BYTES};
+use shackle_exec::{Access, ExecStats, Observer, Workspace};
+use shackle_ir::Program;
+use shackle_memsim::{Cache, Hierarchy, StackSim};
+use std::collections::BTreeMap;
+
+/// A compact, immutable-once-captured stream of memory-access IDs.
+#[derive(Clone, Debug, Default)]
+pub struct CompactTrace {
+    /// Granularity in bytes (power of two); IDs are `addr / gran`.
+    gran: u64,
+    ids: Vec<u32>,
+}
+
+impl CompactTrace {
+    /// An empty trace with element-size granularity (8 bytes) — exact
+    /// for every address this workspace generates.
+    pub fn new() -> Self {
+        Self::with_granularity(ELEM_BYTES)
+    }
+
+    /// An empty trace with a custom granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gran` is zero or not a power of two.
+    pub fn with_granularity(gran: u64) -> Self {
+        assert!(
+            gran.is_power_of_two(),
+            "granularity {gran} must be a non-zero power of two"
+        );
+        Self {
+            gran,
+            ids: Vec::new(),
+        }
+    }
+
+    /// The granularity in bytes.
+    pub fn granularity(&self) -> u64 {
+        self.gran
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Append one byte-address access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantized ID overflows 32 bits (an address space
+    /// beyond `gran · 2³²` bytes — 32 GB at the default granularity).
+    #[inline]
+    pub fn push(&mut self, addr: u64) {
+        let id = addr / self.gran;
+        assert!(id <= u32::MAX as u64, "address {addr} overflows the trace");
+        self.ids.push(id as u32);
+    }
+
+    /// The recorded byte addresses (quantized to the granularity).
+    pub fn addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        let g = self.gran;
+        self.ids.iter().map(move |&id| id as u64 * g)
+    }
+
+    /// Replay into a [`Hierarchy`] — identical stats and cycles to the
+    /// original live-traced execution, provided the granularity divides
+    /// every level's line size and the TLB page size.
+    pub fn replay(&self, h: &mut Hierarchy) {
+        for l in h.levels() {
+            assert_eq!(
+                l.config().line as u64 % self.gran,
+                0,
+                "granularity {} does not divide the {}-byte line",
+                self.gran,
+                l.config().line
+            );
+        }
+        if let Some(t) = h.tlb() {
+            assert_eq!(
+                t.config().page as u64 % self.gran,
+                0,
+                "granularity {} does not divide the {}-byte page",
+                self.gran,
+                t.config().page
+            );
+        }
+        // chunked so the per-call dispatch amortizes like the live
+        // batched observer path
+        let g = self.gran;
+        let mut buf = [0u64; 1024];
+        for chunk in self.ids.chunks(buf.len()) {
+            for (slot, &id) in buf.iter_mut().zip(chunk) {
+                *slot = id as u64 * g;
+            }
+            h.access_many(&buf[..chunk.len()]);
+        }
+    }
+
+    /// Replay into a standalone [`Cache`].
+    pub fn replay_cache(&self, c: &mut Cache) {
+        assert_eq!(
+            c.config().line as u64 % self.gran,
+            0,
+            "granularity {} does not divide the {}-byte line",
+            self.gran,
+            c.config().line
+        );
+        for &id in &self.ids {
+            c.access(id as u64 * self.gran);
+        }
+    }
+
+    /// Feed the trace through a [`StackSim`] in one pass.
+    pub fn replay_stack(&self, s: &mut StackSim) {
+        assert_eq!(
+            s.line() as u64 % self.gran,
+            0,
+            "granularity {} does not divide the {}-byte line",
+            self.gran,
+            s.line()
+        );
+        for &id in &self.ids {
+            s.access(id as u64 * self.gran);
+        }
+    }
+
+    /// Execute `program` once through the compiled engine, capturing
+    /// its full access stream (via the standard [`AddressMap`] layout,
+    /// 128-byte aligned). Returns the execution stats alongside the
+    /// trace — capture once, replay against as many configurations as
+    /// the sweep wants.
+    pub fn capture(
+        program: &Program,
+        params: &BTreeMap<String, i64>,
+        init: impl Fn(&str, &[usize]) -> f64,
+    ) -> (ExecStats, Self) {
+        let map = AddressMap::for_program(program, params, 128);
+        let mut ws = Workspace::for_program(program, params, init);
+        let mut trace = Self::new();
+        let mut obs = CaptureObserver {
+            map,
+            trace: &mut trace,
+        };
+        let stats = shackle_exec::execute_compiled(program, &mut ws, params, &mut obs);
+        (stats, trace)
+    }
+}
+
+/// An [`Observer`] that records translated addresses into a
+/// [`CompactTrace`] instead of simulating them.
+#[derive(Debug)]
+pub struct CaptureObserver<'a> {
+    map: AddressMap,
+    trace: &'a mut CompactTrace,
+}
+
+impl<'a> CaptureObserver<'a> {
+    /// Build a capturing observer over an address map.
+    pub fn new(map: AddressMap, trace: &'a mut CompactTrace) -> Self {
+        Self { map, trace }
+    }
+}
+
+impl Observer for CaptureObserver<'_> {
+    fn access(&mut self, a: Access<'_>) {
+        self.trace.push(self.map.address(a.array, a.offset));
+    }
+
+    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+        for a in accesses {
+            self.trace.push(self.map.address(a.array, a.offset));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_execution;
+    use shackle_ir::kernels;
+    use shackle_memsim::CacheConfig;
+
+    fn params(n: i64) -> BTreeMap<String, i64> {
+        BTreeMap::from([("N".to_string(), n)])
+    }
+
+    #[test]
+    fn replay_is_identical_to_live_tracing() {
+        let p = kernels::matmul_ijk();
+        let params = params(10);
+
+        let mut live = Hierarchy::sp2_thin_node();
+        let live_stats = trace_execution(&p, &params, |_, _| 1.0, &mut live);
+
+        let (cap_stats, trace) = CompactTrace::capture(&p, &params, |_, _| 1.0);
+        assert_eq!(cap_stats, live_stats);
+        assert_eq!(trace.len() as u64, live.accesses());
+
+        let mut replayed = Hierarchy::sp2_thin_node();
+        trace.replay(&mut replayed);
+        assert_eq!(replayed.cycles(), live.cycles());
+        assert_eq!(replayed.level_stats(), live.level_stats());
+    }
+
+    #[test]
+    fn replay_many_configs_from_one_capture() {
+        let p = kernels::cholesky_right();
+        let params = params(16);
+        let init = crate::gen::spd_ws_init("A", 16, 7);
+        let (_, trace) = CompactTrace::capture(&p, &params, &init);
+
+        // one capture drives direct caches and the stack engine alike
+        let configs = [
+            CacheConfig {
+                size: 1024,
+                line: 64,
+                assoc: 2,
+                latency: 0,
+            },
+            CacheConfig {
+                size: 4096,
+                line: 64,
+                assoc: 4,
+                latency: 0,
+            },
+        ];
+        let mut sim = StackSim::new(64, &configs);
+        trace.replay_stack(&mut sim);
+        for cfg in &configs {
+            let mut c = Cache::new(*cfg);
+            trace.replay_cache(&mut c);
+            assert_eq!(sim.stats_for(cfg), c.stats(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn coarser_granularity_stays_exact_down_to_its_lines() {
+        // a 64-byte-granularity trace still replays exactly against
+        // 64- and 128-byte-line caches
+        let p = kernels::matmul_ijk();
+        let params = params(8);
+        let (_, fine) = CompactTrace::capture(&p, &params, |_, _| 1.0);
+        let mut coarse = CompactTrace::with_granularity(64);
+        for a in fine.addrs() {
+            coarse.push(a);
+        }
+        for line in [64usize, 128] {
+            let cfg = CacheConfig {
+                size: 2048,
+                line,
+                assoc: 2,
+                latency: 0,
+            };
+            let (mut c1, mut c2) = (Cache::new(cfg), Cache::new(cfg));
+            fine.replay_cache(&mut c1);
+            coarse.replay_cache(&mut c2);
+            assert_eq!(c1.stats(), c2.stats(), "line {line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn replay_rejects_granularity_coarser_than_line() {
+        let mut t = CompactTrace::with_granularity(256);
+        t.push(0);
+        let mut c = Cache::new(CacheConfig {
+            size: 2048,
+            line: 64,
+            assoc: 2,
+            latency: 0,
+        });
+        t.replay_cache(&mut c);
+    }
+
+    #[test]
+    fn footprint_is_four_bytes_per_access() {
+        let p = kernels::matmul_ijk();
+        let (_, t) = CompactTrace::capture(&p, &params(8), |_, _| 1.0);
+        assert!(!t.is_empty());
+        assert!(t.bytes() < t.len() * 8, "compact vs raw u64 addresses");
+    }
+}

@@ -13,6 +13,8 @@
 //!   with DGEMM, LAPACK-style blocked code);
 //! * [`trace`] — adapters that replay IR interpreter executions into
 //!   `shackle-memsim` hierarchies (dense and band storage);
+//! * [`compact`] — capture-once/replay-many [`compact::CompactTrace`]
+//!   streams feeding the multi-configuration stack engine;
 //! * [`traced`] — traced duplicates of the two baselines whose
 //!   algorithms exist only natively (WY QR, LAPACK banded Cholesky);
 //! * [`gen`] — deterministic workload generators.
@@ -30,6 +32,7 @@ pub mod adi;
 pub mod banded;
 pub mod blas;
 pub mod cholesky;
+pub mod compact;
 pub mod gauss;
 pub mod gen;
 pub mod matmul;

@@ -1,4 +1,16 @@
 //! A single set-associative LRU cache level.
+//!
+//! The hot path is a generation-stamp LRU over flat fixed-size way
+//! arrays: each set owns `assoc` consecutive slots of a `tags` array
+//! and a parallel `stamps` array; a probe scans the ways for the tag
+//! (associativities are small, so this is a handful of comparisons over
+//! one or two cache lines of simulator memory), a hit re-stamps the
+//! way with a monotone access counter, and a miss refills the way with
+//! the minimum stamp — which is exactly the least-recently-used way
+//! (stamp `0` marks an empty way, so cold fills take empty ways first).
+//! Set selection is a mask for power-of-two set counts and a modulo
+//! otherwise. This replaces the original `Vec::remove`/`Vec::insert`
+//! recency lists, which memmoved the set on every touch.
 
 use std::fmt;
 
@@ -16,18 +28,24 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
-    /// Number of sets.
+    /// Validate the geometry, panicking with a description of the first
+    /// inconsistency found.
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is inconsistent (size not divisible by
-    /// `line * assoc`, or line size not a power of two).
-    pub fn sets(&self) -> usize {
+    /// Panics if
+    /// * `line` is zero or not a power of two,
+    /// * `assoc == 0`,
+    /// * `size` is zero or not divisible by `line * assoc` (so the set
+    ///   count would be zero or fractional).
+    pub fn validate(&self) {
         assert!(
             self.line.is_power_of_two(),
-            "line size must be a power of two"
+            "line size {} must be a non-zero power of two",
+            self.line
         );
         assert!(self.assoc >= 1, "associativity must be at least 1");
+        assert!(self.size > 0, "cache size must be positive");
         assert_eq!(
             self.size % self.line,
             0,
@@ -44,7 +62,19 @@ impl CacheConfig {
             self.assoc,
             self.line
         );
-        lines / self.assoc
+        // note: `size > 0` plus both divisibility checks imply
+        // `lines / assoc >= 1`, so the set count is always positive here
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`CacheConfig::validate`]).
+    pub fn sets(&self) -> usize {
+        self.validate();
+        self.size / self.line / self.assoc
     }
 }
 
@@ -86,18 +116,42 @@ impl LevelStats {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    /// Per set: resident line tags, most recently used first.
-    sets: Vec<Vec<u64>>,
+    /// Number of sets (`config.sets()`, cached).
+    sets: usize,
+    /// `sets - 1` when the set count is a power of two, else `0` with
+    /// [`Cache::set_shift`] unused — see [`Cache::set_of`].
+    set_mask: u64,
+    /// Whether set selection can use the mask.
+    pow2_sets: bool,
+    /// Way tags, `assoc` consecutive slots per set.
+    tags: Box<[u64]>,
+    /// Parallel per-way recency stamps; `0` = empty way.
+    stamps: Box<[u64]>,
+    /// Monotone access counter (next stamp to hand out).
+    tick: u64,
     stats: LevelStats,
 }
 
 impl Cache {
     /// Build an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero or
+    /// non-power-of-two `line`, `assoc == 0`, or `size` not divisible
+    /// by `line * assoc`) — see [`CacheConfig::validate`].
     pub fn new(config: CacheConfig) -> Self {
+        config.validate();
         let sets = config.sets();
+        let slots = sets * config.assoc;
         Self {
             config,
-            sets: vec![Vec::with_capacity(config.assoc); sets],
+            sets,
+            set_mask: sets as u64 - 1,
+            pow2_sets: sets.is_power_of_two(),
+            tags: vec![0; slots].into_boxed_slice(),
+            stamps: vec![0; slots].into_boxed_slice(),
+            tick: 1,
             stats: LevelStats::default(),
         }
     }
@@ -114,31 +168,50 @@ impl Cache {
 
     /// Reset counters and contents.
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.stamps.fill(0);
+        self.tick = 1;
         self.stats = LevelStats::default();
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        if self.pow2_sets {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.sets as u64) as usize
+        }
     }
 
     /// Touch the byte at `addr`; returns whether it hit. On a miss the
     /// line is filled (evicting the LRU way if the set is full).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let line = addr / self.config.line as u64;
-        let set = (line % self.sets.len() as u64) as usize;
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&t| t == line) {
-            ways.remove(pos);
-            ways.insert(0, line);
-            self.stats.hits += 1;
-            true
-        } else {
-            if ways.len() == self.config.assoc {
-                ways.pop();
+        let set = self.set_of(line);
+        let base = set * self.config.assoc;
+        let ways = &mut self.tags[base..base + self.config.assoc];
+        let stamps = &mut self.stamps[base..base + self.config.assoc];
+        let stamp = self.tick;
+        self.tick += 1;
+        // LRU victim doubles as the hit scan's fallback: empty ways
+        // carry stamp 0 and are therefore chosen before any filled way.
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for (i, (&tag, st)) in ways.iter().zip(stamps.iter_mut()).enumerate() {
+            if *st != 0 && tag == line {
+                *st = stamp;
+                self.stats.hits += 1;
+                return true;
             }
-            ways.insert(0, line);
-            self.stats.misses += 1;
-            false
+            if *st < victim_stamp {
+                victim_stamp = *st;
+                victim = i;
+            }
         }
+        ways[victim] = line;
+        stamps[victim] = stamp;
+        self.stats.misses += 1;
+        false
     }
 }
 
@@ -224,6 +297,81 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "power of two")]
+    fn zero_line_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size: 64,
+            line: 0,
+            assoc: 2,
+            latency: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size: 96,
+            line: 24,
+            assoc: 2,
+            latency: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn zero_assoc_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size: 64,
+            line: 16,
+            assoc: 0,
+            latency: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        // the seed computed sets == 0 here and divided by zero on the
+        // first access; now it is rejected at construction
+        let _ = Cache::new(CacheConfig {
+            size: 0,
+            line: 16,
+            assoc: 2,
+            latency: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn undersized_cache_rejected() {
+        // one line total cannot host a 2-way set
+        let _ = Cache::new(CacheConfig {
+            size: 16,
+            line: 16,
+            assoc: 2,
+            latency: 1,
+        });
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_still_works() {
+        // 3 sets: falls back to modulo set selection
+        let mut c = Cache::new(CacheConfig {
+            size: 96,
+            line: 16,
+            assoc: 2,
+            latency: 1,
+        });
+        assert_eq!(c.config().sets(), 3);
+        assert!(!c.access(0)); // line 0 → set 0
+        assert!(!c.access(48)); // line 3 → set 0
+        assert!(!c.access(96)); // line 6 → set 0, evicts line 0
+        assert!(!c.access(0));
+        assert!(c.access(96 + 8)); // line 6 re-hit after line-0 refill
+    }
+
+    #[test]
     fn fully_associative_working_set() {
         // direct test: working set larger than capacity thrashes
         let mut c = Cache::new(CacheConfig {
@@ -240,5 +388,13 @@ mod tests {
         }
         // second round misses everything (LRU + sequential sweep)
         assert_eq!(c.stats().misses, 18);
+    }
+
+    #[test]
+    fn clear_empties_contents() {
+        let mut c = tiny();
+        c.access(0);
+        c.clear();
+        assert!(!c.access(0), "cleared cache must cold-miss");
     }
 }

@@ -13,6 +13,9 @@ pub struct Hierarchy {
     tlb: Option<Tlb>,
     mem_latency: u64,
     cycles: u64,
+    /// Cycles spent in page-table walks — included in `cycles`, tracked
+    /// separately so reports can attribute translation stalls.
+    tlb_walk_cycles: u64,
     accesses: u64,
 }
 
@@ -30,6 +33,7 @@ impl Hierarchy {
             tlb: None,
             mem_latency,
             cycles: 0,
+            tlb_walk_cycles: 0,
             accesses: 0,
         }
     }
@@ -45,6 +49,19 @@ impl Hierarchy {
     /// The attached TLB, if any.
     pub fn tlb(&self) -> Option<&Tlb> {
         self.tlb.as_ref()
+    }
+
+    /// Translation hit/miss counters, if a TLB is attached — the
+    /// translation analogue of [`Hierarchy::level_stats`], so sweeps
+    /// can surface TLB misses next to cache misses.
+    pub fn tlb_stats(&self) -> Option<LevelStats> {
+        self.tlb.as_ref().map(Tlb::stats)
+    }
+
+    /// Cycles spent in page-table walks so far (a component of
+    /// [`Hierarchy::cycles`]; zero without a TLB).
+    pub fn tlb_walk_cycles(&self) -> u64 {
+        self.tlb_walk_cycles
     }
 
     /// An IBM SP-2 thin-node-like single-level hierarchy: 64 KB,
@@ -94,6 +111,7 @@ impl Hierarchy {
         if let Some(tlb) = &mut self.tlb {
             if !tlb.access(addr) {
                 self.cycles += tlb.config().miss_penalty;
+                self.tlb_walk_cycles += tlb.config().miss_penalty;
             }
         }
         for (i, level) in self.levels.iter_mut().enumerate() {
@@ -141,6 +159,7 @@ impl Hierarchy {
             t.clear();
         }
         self.cycles = 0;
+        self.tlb_walk_cycles = 0;
         self.accesses = 0;
     }
 
@@ -293,6 +312,34 @@ mod tests {
         assert!(h.cycles() >= 6 * 30);
         h.clear();
         assert_eq!(h.tlb().unwrap().misses(), 0);
+    }
+
+    #[test]
+    fn sp2_page_walk_cost_is_pinned() {
+        // the POWER2-like TLB charges exactly 30 cycles per walk; on
+        // the SP-2 preset (zero-latency L1 hits) a page-strided sweep
+        // larger than the TLB separates the cycle components exactly:
+        // every access TLB-misses, and cache behaviour is independent
+        let tlb_cfg = crate::TlbConfig::power2_like();
+        assert_eq!(tlb_cfg.miss_penalty, 30, "SP-2 page-walk cost");
+        let mut h = Hierarchy::sp2_thin_node().with_tlb(tlb_cfg);
+        let pages = tlb_cfg.entries as u64 + 1;
+        for _ in 0..2 {
+            for p in 0..pages {
+                h.access(p * tlb_cfg.page as u64);
+            }
+        }
+        let t = h.tlb_stats().expect("TLB attached");
+        assert_eq!(t.misses, 2 * pages, "LRU thrash on a sweep > entries");
+        assert_eq!(t.hits, 0);
+        assert_eq!(h.tlb_walk_cycles(), t.misses * 30);
+        // total cycles decompose exactly into walks + memory fills
+        // (L1 hits cost zero on this preset)
+        let cache_misses = h.level_stats()[0].misses;
+        assert_eq!(h.cycles(), t.misses * 30 + cache_misses * 60);
+        h.clear();
+        assert_eq!(h.tlb_walk_cycles(), 0);
+        assert_eq!(h.tlb_stats().unwrap(), crate::LevelStats::default());
     }
 
     #[test]

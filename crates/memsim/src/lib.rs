@@ -9,6 +9,17 @@
 //! [`Hierarchy::two_level`]), and [`PerfModel`] converts flop counts and
 //! memory cycles into the MFLOPS numbers the paper plots.
 //!
+//! Two engines share the address-level semantics:
+//!
+//! * the **direct** simulator ([`Cache`], [`Hierarchy`]) replays a
+//!   trace through one concrete geometry — generation-stamp LRU over
+//!   flat way arrays, the only engine for coupled multi-level
+//!   hierarchies and TLBs;
+//! * the **stack** engine ([`StackSim`]) computes per-set LRU stack
+//!   distances in one pass and derives exact, bit-identical hit/miss
+//!   counts for *every* power-of-two-set configuration of a line size
+//!   at once — the engine behind multi-configuration sweeps.
+//!
 //! The crate is deliberately address-based and dependency-free; the
 //! adapter that turns interpreter accesses into addresses lives in
 //! `shackle-kernels`.
@@ -35,8 +46,10 @@
 
 mod cache;
 mod hierarchy;
+mod stack;
 mod tlb;
 
 pub use cache::{Cache, CacheConfig, LevelStats};
 pub use hierarchy::{Hierarchy, PerfModel};
+pub use stack::{direct_sweep, stack_sweep, StackSim};
 pub use tlb::{Tlb, TlbConfig};

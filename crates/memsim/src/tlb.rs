@@ -46,8 +46,12 @@ impl TlbConfig {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    /// Resident page numbers, most recently used first.
-    pages: Vec<u64>,
+    /// Resident page numbers, one slot per entry (same generation-stamp
+    /// LRU as [`crate::Cache`]: stamp `0` marks an empty slot, the
+    /// minimum stamp is the LRU victim).
+    pages: Box<[u64]>,
+    stamps: Box<[u64]>,
+    tick: u64,
     hits: u64,
     misses: u64,
 }
@@ -66,7 +70,9 @@ impl Tlb {
         assert!(config.entries > 0, "TLB needs at least one entry");
         Self {
             config,
-            pages: Vec::with_capacity(config.entries),
+            pages: vec![0; config.entries].into_boxed_slice(),
+            stamps: vec![0; config.entries].into_boxed_slice(),
+            tick: 1,
             hits: 0,
             misses: 0,
         }
@@ -80,19 +86,25 @@ impl Tlb {
     /// Translate the byte address; returns whether it hit.
     pub fn access(&mut self, addr: u64) -> bool {
         let page = addr / self.config.page as u64;
-        if let Some(i) = self.pages.iter().position(|&p| p == page) {
-            self.pages.remove(i);
-            self.pages.insert(0, page);
-            self.hits += 1;
-            true
-        } else {
-            if self.pages.len() == self.config.entries {
-                self.pages.pop();
+        let stamp = self.tick;
+        self.tick += 1;
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for (i, (&p, st)) in self.pages.iter().zip(self.stamps.iter_mut()).enumerate() {
+            if *st != 0 && p == page {
+                *st = stamp;
+                self.hits += 1;
+                return true;
             }
-            self.pages.insert(0, page);
-            self.misses += 1;
-            false
+            if *st < victim_stamp {
+                victim_stamp = *st;
+                victim = i;
+            }
         }
+        self.pages[victim] = page;
+        self.stamps[victim] = stamp;
+        self.misses += 1;
+        false
     }
 
     /// Hits so far.
@@ -105,9 +117,19 @@ impl Tlb {
         self.misses
     }
 
+    /// Hit/miss counters as a [`crate::LevelStats`], so reports can
+    /// treat translation like another level of the hierarchy.
+    pub fn stats(&self) -> crate::LevelStats {
+        crate::LevelStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
     /// Reset contents and counters.
     pub fn clear(&mut self) {
-        self.pages.clear();
+        self.stamps.fill(0);
+        self.tick = 1;
         self.hits = 0;
         self.misses = 0;
     }

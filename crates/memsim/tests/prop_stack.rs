@@ -1,0 +1,121 @@
+//! Differential property tests: the single-pass Mattson stack engine
+//! must produce bit-identical hit/miss counts to the direct LRU
+//! simulator for random traces across random configuration families.
+
+use proptest::prelude::*;
+use shackle_memsim::{direct_sweep, stack_sweep, Cache, CacheConfig, StackSim};
+
+fn trace() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..16384, 1..500)
+}
+
+/// A random configuration family sharing one line size: power-of-two
+/// sets (the stack engine's domain), associativities 1..=8.
+fn config_family() -> impl Strategy<Value = (usize, Vec<CacheConfig>)> {
+    (
+        0usize..3,
+        prop::collection::vec((0u32..6, 1usize..=8), 1..6),
+    )
+        .prop_map(|(line_sel, specs)| {
+            let line = 16usize << line_sel; // 16, 32, 64
+            let cfgs = specs
+                .into_iter()
+                .map(|(k, assoc)| CacheConfig {
+                    size: (1usize << k) * assoc * line,
+                    line,
+                    assoc,
+                    latency: 0,
+                })
+                .collect();
+            (line, cfgs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stack-distance counts equal direct LRU simulation, config by
+    /// config, for every random (trace, family) pair.
+    #[test]
+    fn stack_matches_direct((line, cfgs) in config_family(), addrs in trace()) {
+        let _ = line;
+        let stack = stack_sweep(&addrs, &cfgs);
+        let direct = direct_sweep(&addrs, &cfgs);
+        prop_assert_eq!(stack, direct);
+    }
+
+    /// Incremental queries agree too: stats may be read mid-trace and
+    /// must match a direct cache replay of the prefix.
+    #[test]
+    fn prefix_queries_match((line, cfgs) in config_family(), addrs in trace()) {
+        let mut sim = StackSim::new(line, &cfgs);
+        let mut caches: Vec<Cache> = cfgs.iter().map(|&c| Cache::new(c)).collect();
+        let cut = addrs.len() / 2;
+        for &a in &addrs[..cut] {
+            sim.access(a);
+            for c in &mut caches {
+                c.access(a);
+            }
+        }
+        for (cfg, c) in cfgs.iter().zip(&caches) {
+            prop_assert_eq!(sim.stats_for(cfg), c.stats());
+        }
+        for &a in &addrs[cut..] {
+            sim.access(a);
+            for c in &mut caches {
+                c.access(a);
+            }
+        }
+        for (cfg, c) in cfgs.iter().zip(&caches) {
+            prop_assert_eq!(sim.stats_for(cfg), c.stats());
+        }
+    }
+
+    /// Conservation: every configuration accounts for every access, and
+    /// cold misses are a lower bound on misses everywhere.
+    #[test]
+    fn totals_conserved((line, cfgs) in config_family(), addrs in trace()) {
+        let mut sim = StackSim::new(line, &cfgs);
+        sim.access_many(&addrs);
+        prop_assert_eq!(sim.total(), addrs.len() as u64);
+        for c in &cfgs {
+            let s = sim.stats_for(c);
+            prop_assert_eq!(s.accesses(), addrs.len() as u64);
+            prop_assert!(s.misses >= sim.cold_misses());
+        }
+    }
+
+    /// The Mattson inclusion property on the derived counts: at any
+    /// fixed set count, more ways never mean fewer hits.
+    #[test]
+    fn more_ways_never_hurt_derived(k in 0u32..5, addrs in trace()) {
+        let line = 32usize;
+        let cfgs: Vec<CacheConfig> = (1usize..=8)
+            .map(|assoc| CacheConfig {
+                size: (1usize << k) * assoc * line,
+                line,
+                assoc,
+                latency: 0,
+            })
+            .collect();
+        let stats = stack_sweep(&addrs, &cfgs);
+        for w in stats.windows(2) {
+            prop_assert!(w[1].hits >= w[0].hits);
+        }
+    }
+
+    /// `clear` fully resets the engine: a cleared replay equals a fresh
+    /// one.
+    #[test]
+    fn clear_is_fresh((line, cfgs) in config_family(), addrs in trace()) {
+        let mut sim = StackSim::new(line, &cfgs);
+        sim.access_many(&addrs);
+        sim.clear();
+        sim.access_many(&addrs);
+        let mut fresh = StackSim::new(line, &cfgs);
+        fresh.access_many(&addrs);
+        for c in &cfgs {
+            prop_assert_eq!(sim.stats_for(c), fresh.stats_for(c));
+        }
+    }
+}
