@@ -12,15 +12,12 @@
 //! extra capacity columns show where each tiling choice stops fitting —
 //! the multi-configuration view the stack engine makes free.
 
-use shackle_bench::{model, par};
-use shackle_kernels::compact::CompactTrace;
-use shackle_kernels::shackles;
-use shackle_memsim::{CacheConfig, StackSim};
+use shackle_bench::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
     let n = 300_i64;
-    let p = shackle_ir::kernels::cholesky_right();
+    let p = kernels::cholesky_right();
     println!("Block-size ablation: fully-blocked Cholesky, n = {n}, one capture per width");
     println!(
         "{:>8} {:>12} {:>14} {:>10} {:>9} {:>9} {:>9}",
@@ -40,12 +37,12 @@ fn main() {
     // parallel and print in width order
     let rows = par::map(&widths, |&width| {
         let factors = shackles::cholesky_product(&p, width);
-        let blocked = shackle_core::scan::generate_scanned(&p, &factors);
+        let blocked = generate_scanned(&p, &factors);
         let params = BTreeMap::from([("N".to_string(), n)]);
-        let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 5);
+        let init = gen::spd_ws_init("A", n as usize, 5);
         let (stats, trace) = CompactTrace::capture(&blocked, &params, &init);
         let mut sim = StackSim::new(128, &grid);
-        trace.replay_stack(&mut sim);
+        trace.replay_into(&mut sim);
         let cycles = sim.cycles_for(&sp2, 60);
         let mflops = model::perf(model::SCALAR_CYCLES_PER_FLOP).mflops(stats.flops, cycles);
         let ratios: Vec<f64> = grid.iter().map(|c| sim.stats_for(c).miss_ratio()).collect();

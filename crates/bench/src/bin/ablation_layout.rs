@@ -9,10 +9,7 @@
 //! the generated code (shackling "takes no position on how the remapped
 //! data is stored").
 
-use shackle_exec::{execute_compiled, Access, Observer, Workspace};
-use shackle_kernels::shackles;
-use shackle_kernels::trace::{block_major_address, trace_execution};
-use shackle_memsim::Hierarchy;
+use shackle_bench::prelude::*;
 use std::collections::BTreeMap;
 
 struct BlockMajorAll<'a> {
@@ -22,7 +19,7 @@ struct BlockMajorAll<'a> {
 }
 
 impl Observer for BlockMajorAll<'_> {
-    fn access(&mut self, acc: Access<'_>) {
+    fn record(&mut self, acc: Access<'_>) {
         // stack the three arrays' block-major regions 8 MB apart
         let region: u64 = match acc.array {
             "C" => 0,
@@ -38,10 +35,10 @@ impl Observer for BlockMajorAll<'_> {
 
 fn main() {
     let (n, b) = (256_i64, 32usize);
-    let p = shackle_ir::kernels::matmul_ijk();
-    let blocked = shackle_core::scan::generate_scanned(&p, &shackles::matmul_ca(&p, b as i64));
+    let p = kernels::matmul_ijk();
+    let blocked = generate_scanned(&p, &shackles::matmul_ca(&p, b as i64));
     let params = BTreeMap::from([("N".to_string(), n)]);
-    let init = shackle_exec::verify::hash_init(9);
+    let init = verify::hash_init(9);
     println!("Layout ablation: blocked matmul, n = {n} (power of two), block {b}");
 
     let mut h_col = Hierarchy::sp2_thin_node();

@@ -4,18 +4,15 @@
 //! penalizes the strided input sweep far more than the blocked code,
 //! pushing the input curve toward the paper's floor.
 
-use shackle_bench::model;
-use shackle_kernels::shackles;
-use shackle_kernels::trace::trace_execution;
-use shackle_memsim::{Hierarchy, TlbConfig};
+use shackle_bench::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
     let n = 300_i64;
-    let p = shackle_ir::kernels::cholesky_right();
-    let blocked = shackle_core::scan::generate_scanned(&p, &shackles::cholesky_product(&p, 32));
+    let p = kernels::cholesky_right();
+    let blocked = generate_scanned(&p, &shackles::cholesky_product(&p, 32));
     let params = BTreeMap::from([("N".to_string(), n)]);
-    let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 5);
+    let init = gen::spd_ws_init("A", n as usize, 5);
     println!("TLB ablation: Cholesky n = {n}, simulated SP-2");
     println!(
         "{:<26} {:>12} {:>12} {:>12} {:>10} {:>12}",

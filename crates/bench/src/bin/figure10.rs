@@ -2,6 +2,8 @@
 //! matrix multiplication blocked for two levels of memory hierarchy, on
 //! the simulated two-level hierarchy (16 KB L1 / 512 KB L2).
 
+use shackle_bench::prelude::*;
+
 fn main() {
     let (n, w1, w2) = (192, 64, 8);
     println!("Figure 10 experiment: matmul n={n}, outer block {w1}, inner block {w2}");
@@ -12,10 +14,12 @@ fn main() {
         "{:<22} {:>12} {:>12} {:>14}",
         "configuration", "L1 misses", "L2 misses", "mem cycles"
     );
-    for r in shackle_bench::figure10(n, w1, w2) {
+    let (rows, phases) = timed_phases(|| figure10(n, w1, w2));
+    for r in rows {
         println!(
             "{:<22} {:>12} {:>12} {:>14}",
             r.label, r.l1_misses, r.l2_misses, r.cycles
         );
     }
+    eprint!("\n{phases}");
 }

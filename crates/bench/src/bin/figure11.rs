@@ -6,7 +6,7 @@
 //! `--quick` runs a reduced size sweep (CI perf smoke); the full sweep
 //! reproduces the paper's x-axis.
 
-use shackle_bench::{figure11, render_table};
+use shackle_bench::prelude::*;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -17,7 +17,7 @@ fn main() {
     } else {
         &[100, 150, 200, 250, 300, 400, 500]
     };
-    let series = figure11(sizes, 32);
+    let (series, phases) = timed_phases(|| figure11(sizes, 32));
     print!(
         "{}",
         render_table(
@@ -26,4 +26,5 @@ fn main() {
             &series
         )
     );
+    eprint!("\n{phases}");
 }

@@ -2,11 +2,11 @@
 //! four curves (input pointwise code, column-blocked compiler code, the
 //! same with DGEMM-style updates, LAPACK compact-WY).
 
-use shackle_bench::{figure12, render_table};
+use shackle_bench::prelude::*;
 
 fn main() {
     let sizes = [50, 100, 150, 200, 250, 300];
-    let series = figure12(&sizes, 32);
+    let (series, phases) = timed_phases(|| figure12(&sizes, 32));
     print!(
         "{}",
         render_table(
@@ -15,4 +15,5 @@ fn main() {
             &series
         )
     );
+    eprint!("\n{phases}");
 }

@@ -2,13 +2,15 @@
 //! (paper: elimination ~3x faster, whole benchmark ~2x), and (ii) the
 //! ADI kernel (paper: 8.9x faster at n = 1000).
 
+use shackle_bench::prelude::*;
+
 fn main() {
-    let (elim, whole) = shackle_bench::figure13_gmtry(320, 32);
+    let n = 1000;
+    let (((elim, whole), sp), phases) = timed_phases(|| (figure13_gmtry(320, 32), figure13_adi(n)));
     println!("Figure 13(i) GMTRY, n=320, block 32 (simulated SP-2):");
     println!("  Gaussian elimination speedup: {elim:.2}x   (paper: ~3x)");
     println!("  whole benchmark speedup:      {whole:.2}x   (paper: ~2x)");
-    let n = 1000;
-    let sp = shackle_bench::figure13_adi(n);
     println!("\nFigure 13(ii) ADI, n={n} (simulated SP-2):");
     println!("  transformed vs input speedup: {sp:.2}x   (paper: 8.9x)");
+    eprint!("\n{phases}");
 }

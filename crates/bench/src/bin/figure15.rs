@@ -2,12 +2,12 @@
 //! half-bandwidth (input dense-storage code, compiler-blocked code on
 //! band storage, LAPACK dpbtrf-style with native BLAS).
 
-use shackle_bench::{figure15, render_table};
+use shackle_bench::prelude::*;
 
 fn main() {
     let n = 400;
     let bands = [8, 16, 32, 64, 96, 128];
-    let series = figure15(n, &bands, 32);
+    let (series, phases) = timed_phases(|| figure15(n, &bands, 32));
     print!(
         "{}",
         render_table(
@@ -16,4 +16,5 @@ fn main() {
             &series
         )
     );
+    eprint!("\n{phases}");
 }

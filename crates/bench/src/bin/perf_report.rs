@@ -19,12 +19,19 @@
 //! capture-once + single stack pass — asserting bit-identical hit/miss
 //! counts per configuration, and writes `BENCH_memsim.json`.
 //!
+//! With `--profile`, additionally runs an instrumented pass of the full
+//! pipeline (search → legality → codegen → exec → memsim) for the
+//! Cholesky and matmul kernels through `shackle-probe`, prints the
+//! phase tree, measures the instrumentation overhead on the compiled
+//! hot path (asserted ≤ 2%), and writes `BENCH_profile.json`. The
+//! regular reports above always run with instrumentation disabled, so
+//! their artifacts are byte-identical with or without the flag.
+//!
 //! Run in release mode: `cargo run --release --bin perf_report`.
 
+use shackle_bench::prelude::*;
+use shackle_bench::report::assert_speedup;
 use shackle_bench::searchperf::{auto_search, Mode, SearchOutcome};
-use shackle_core::search::SearchConfig;
-use shackle_exec::{compile, execute, NullObserver, Workspace};
-use shackle_ir::Program;
 use shackle_polyhedra::cache;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -86,35 +93,35 @@ fn main() {
     let n = 64;
     rows.push(measure(
         "matmul_ijk",
-        &shackle_ir::kernels::matmul_ijk(),
+        &kernels::matmul_ijk(),
         &params_n(n),
         n,
         ones,
     ));
     rows.push(measure(
         "cholesky_right",
-        &shackle_ir::kernels::cholesky_right(),
+        &kernels::cholesky_right(),
         &params_n(n),
         n,
         shackle_exec::verify::spd_init("A", n as usize, 3),
     ));
     rows.push(measure(
         "qr_householder",
-        &shackle_ir::kernels::qr_householder(),
+        &kernels::qr_householder(),
         &params_n(48),
         48,
         shackle_exec::verify::hash_init(3),
     ));
     rows.push(measure(
         "gauss",
-        &shackle_ir::kernels::gauss(),
+        &kernels::gauss(),
         &params_n(n),
         n,
         shackle_exec::verify::spd_init("A", n as usize, 5),
     ));
     rows.push(measure(
         "adi",
-        &shackle_ir::kernels::adi(),
+        &kernels::adi(),
         &params_n(96),
         96,
         |name: &str, idx: &[usize]| {
@@ -130,37 +137,38 @@ fn main() {
         "{:<16} {:>6} {:>10} {:>16} {:>16} {:>8}",
         "kernel", "n", "instances", "tree inst/s", "compiled inst/s", "speedup"
     );
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    let mut report = BenchReport::new();
+    report.section("benchmarks");
+    for r in &rows {
         let speedup = r.compiled_ips / r.tree_ips;
         println!(
             "{:<16} {:>6} {:>10} {:>16.0} {:>16.0} {:>7.2}x",
             r.kernel, r.n, r.instances, r.tree_ips, r.compiled_ips, speedup
         );
-        json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"n\": {}, \"instances\": {}, \
+        assert_speedup(r.kernel, speedup, 1.0);
+        report.row(format!(
+            "{{\"kernel\": \"{}\", \"n\": {}, \"instances\": {}, \
              \"tree_instances_per_sec\": {:.0}, \
              \"compiled_instances_per_sec\": {:.0}, \
-             \"speedup\": {:.3}}}{}\n",
-            r.kernel,
-            r.n,
-            r.instances,
-            r.tree_ips,
-            r.compiled_ips,
-            speedup,
-            if i + 1 < rows.len() { "," } else { "" }
+             \"speedup\": {:.3}}}",
+            r.kernel, r.n, r.instances, r.tree_ips, r.compiled_ips, speedup,
         ));
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    report
+        .write("BENCH_exec.json")
+        .expect("write BENCH_exec.json");
     println!("\nwrote BENCH_exec.json");
 
     search_report();
     memsim_report();
+
+    if std::env::args().any(|a| a == "--profile") {
+        profile_report();
+    }
 }
 
 struct MemsimRow {
-    kernel: String,
+    kernel: &'static str,
     n: i64,
     accesses: u64,
     configs: usize,
@@ -171,14 +179,13 @@ struct MemsimRow {
 /// Time one traced kernel through both sweep pipelines, asserting the
 /// per-configuration hit/miss counts are bit-identical.
 fn memsim_one(
-    kernel: &str,
+    kernel: &'static str,
     program: &Program,
     params: &BTreeMap<String, i64>,
     n: i64,
     init: impl Fn(&str, &[usize]) -> f64 + Sync,
-    grid: &[shackle_memsim::CacheConfig],
+    grid: &[CacheConfig],
 ) -> MemsimRow {
-    use shackle_kernels::compact::CompactTrace;
     let reps = 2;
 
     // Baseline: the pre-stack-engine figure flow — one kernel
@@ -188,8 +195,8 @@ fn memsim_one(
         baseline_stats = grid
             .iter()
             .map(|&cfg| {
-                let mut h = shackle_memsim::Hierarchy::new(&[cfg], 60);
-                shackle_kernels::trace::trace_execution(program, params, &init, &mut h);
+                let mut h = Hierarchy::new(&[cfg], 60);
+                trace_execution(program, params, &init, &mut h);
                 h.level_stats()[0]
             })
             .collect();
@@ -202,8 +209,8 @@ fn memsim_one(
     let stack_secs = best_secs(reps, || {
         let (_, trace) = CompactTrace::capture(program, params, &init);
         accesses = trace.len() as u64;
-        let mut sim = shackle_memsim::StackSim::new(grid[0].line, grid);
-        trace.replay_stack(&mut sim);
+        let mut sim = StackSim::new(grid[0].line, grid);
+        trace.replay_into(&mut sim);
         stack_stats = grid.iter().map(|c| sim.stats_for(c)).collect();
     });
 
@@ -212,7 +219,7 @@ fn memsim_one(
         "stack engine must be bit-identical to the direct sweep on {kernel}"
     );
     MemsimRow {
-        kernel: kernel.to_string(),
+        kernel,
         n,
         accesses,
         configs: grid.len(),
@@ -230,14 +237,10 @@ fn memsim_report() {
     );
     let params_n = |n: i64| BTreeMap::from([("N".to_string(), n)]);
 
-    let chol = shackle_ir::kernels::cholesky_right();
-    let chol_blocked = shackle_core::scan::generate_scanned(
-        &chol,
-        &shackle_kernels::shackles::cholesky_product(&chol, 16),
-    );
-    let mm = shackle_ir::kernels::matmul_ijk();
-    let mm_blocked =
-        shackle_core::scan::generate_scanned(&mm, &shackle_kernels::shackles::matmul_ca(&mm, 8));
+    let chol = kernels::cholesky_right();
+    let chol_blocked = generate_scanned(&chol, &shackles::cholesky_product(&chol, 16));
+    let mm = kernels::matmul_ijk();
+    let mm_blocked = generate_scanned(&mm, &shackles::matmul_ca(&mm, 8));
     let rows = [
         memsim_one("matmul_ijk", &mm, &params_n(48), 48, |_, _| 1.0, &grid),
         memsim_one(
@@ -253,7 +256,7 @@ fn memsim_report() {
             &chol,
             &params_n(64),
             64,
-            shackle_kernels::gen::spd_ws_init("A", 64, 3),
+            gen::spd_ws_init("A", 64, 3),
             &grid,
         ),
         memsim_one(
@@ -261,7 +264,7 @@ fn memsim_report() {
             &chol_blocked,
             &params_n(64),
             64,
-            shackle_kernels::gen::spd_ws_init("A", 64, 3),
+            gen::spd_ws_init("A", 64, 3),
             &grid,
         ),
     ];
@@ -270,25 +273,19 @@ fn memsim_report() {
         "\n{:<22} {:>5} {:>10} {:>8} {:>12} {:>12} {:>8}",
         "memsim sweep", "n", "accesses", "configs", "baseline s", "stack s", "speedup"
     );
-    let mut json = String::from("{\n  \"memsim\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    let mut report = BenchReport::new();
+    report.section("memsim");
+    for r in &rows {
         let speedup = r.baseline_secs / r.stack_secs;
         println!(
             "{:<22} {:>5} {:>10} {:>8} {:>12.4} {:>12.4} {:>7.2}x",
             r.kernel, r.n, r.accesses, r.configs, r.baseline_secs, r.stack_secs, speedup
         );
-        json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"n\": {}, \"accesses\": {}, \
+        report.row(format!(
+            "{{\"kernel\": \"{}\", \"n\": {}, \"accesses\": {}, \
              \"configs\": {}, \"baseline_secs\": {:.6}, \
-             \"stack_secs\": {:.6}, \"speedup\": {:.3}}}{}\n",
-            r.kernel,
-            r.n,
-            r.accesses,
-            r.configs,
-            r.baseline_secs,
-            r.stack_secs,
-            speedup,
-            if i + 1 < rows.len() { "," } else { "" }
+             \"stack_secs\": {:.6}, \"speedup\": {:.3}}}",
+            r.kernel, r.n, r.accesses, r.configs, r.baseline_secs, r.stack_secs, speedup,
         ));
     }
     let total_base: f64 = rows.iter().map(|r| r.baseline_secs).sum();
@@ -298,11 +295,17 @@ fn memsim_report() {
         "{:<22} {:>25} {:>12.4} {:>12.4} {:>7.2}x",
         "aggregate", "", total_base, total_stack, aggregate
     );
-    json.push_str(&format!(
-        "  ],\n  \"aggregate\": {{\"baseline_secs\": {total_base:.6}, \
-         \"stack_secs\": {total_stack:.6}, \"speedup\": {aggregate:.3}}}\n}}\n"
-    ));
-    std::fs::write("BENCH_memsim.json", &json).expect("write BENCH_memsim.json");
+    assert_speedup("memsim stack engine (aggregate)", aggregate, 1.0);
+    report.field_raw(
+        "aggregate",
+        format!(
+            "{{\"baseline_secs\": {total_base:.6}, \
+             \"stack_secs\": {total_stack:.6}, \"speedup\": {aggregate:.3}}}"
+        ),
+    );
+    report
+        .write("BENCH_memsim.json")
+        .expect("write BENCH_memsim.json");
     println!("wrote BENCH_memsim.json");
 }
 
@@ -368,21 +371,21 @@ fn search_report() {
     let rows = [
         search_one(
             "cholesky_right",
-            &shackle_ir::kernels::cholesky_right(),
+            &kernels::cholesky_right(),
             &w16,
             48,
             shackle_kernels_spd_init(48),
         ),
         search_one(
             "cholesky_left",
-            &shackle_ir::kernels::cholesky_left(),
+            &kernels::cholesky_left(),
             &w16,
             32,
             shackle_kernels_spd_init(32),
         ),
         search_one(
             "gauss",
-            &shackle_ir::kernels::gauss(),
+            &kernels::gauss(),
             &w16,
             24,
             shackle_kernels_spd_init(24),
@@ -396,7 +399,7 @@ fn search_report() {
     // 3·n² working set exceeds the 8KB probe cache.
     let score_bound = [search_one(
         "matmul_ijk",
-        &shackle_ir::kernels::matmul_ijk(),
+        &kernels::matmul_ijk(),
         &SearchConfig {
             width: 25,
             ..Default::default()
@@ -417,10 +420,11 @@ fn search_report() {
         "feas hit",
         "proj hit"
     );
-    let mut json = String::from("{\n  \"search\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    let mut report = BenchReport::new();
+    report.section("search");
+    for r in &rows {
         print_search_row(r);
-        json.push_str(&search_row_json(r, i + 1 < rows.len()));
+        report.row(search_row_json(r));
     }
     let total_base: f64 = rows.iter().map(|r| r.baseline_secs).sum();
     let total_memo: f64 = rows.iter().map(|r| r.memoized_secs).sum();
@@ -429,21 +433,27 @@ fn search_report() {
         "{:<16} {:>33} {:>12.4} {:>12.4} {:>7.2}x",
         "aggregate", "", total_base, total_memo, aggregate
     );
-    json.push_str("  ],\n  \"score_bound\": [\n");
-    for (i, r) in score_bound.iter().enumerate() {
+    assert_speedup("memoized search (aggregate)", aggregate, 1.0);
+    report.section("score_bound");
+    for r in &score_bound {
         print_search_row(r);
-        json.push_str(&search_row_json(r, i + 1 < score_bound.len()));
+        report.row(search_row_json(r));
     }
-    json.push_str(
-        "  ],\n  \"score_bound_note\": \"end-to-end time dominated by the \
-         mode-independent probe-cache scoring simulation; excluded from \
-         the aggregate\",\n",
+    report.field_str(
+        "score_bound_note",
+        "end-to-end time dominated by the mode-independent probe-cache \
+         scoring simulation; excluded from the aggregate",
     );
-    json.push_str(&format!(
-        "  \"aggregate\": {{\"baseline_secs\": {total_base:.6}, \
-         \"memoized_secs\": {total_memo:.6}, \"speedup\": {aggregate:.3}}}\n}}\n"
-    ));
-    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    report.field_raw(
+        "aggregate",
+        format!(
+            "{{\"baseline_secs\": {total_base:.6}, \
+             \"memoized_secs\": {total_memo:.6}, \"speedup\": {aggregate:.3}}}"
+        ),
+    );
+    report
+        .write("BENCH_search.json")
+        .expect("write BENCH_search.json");
     println!("wrote BENCH_search.json");
 }
 
@@ -462,9 +472,9 @@ fn print_search_row(r: &SearchRow) {
     );
 }
 
-fn search_row_json(r: &SearchRow, comma: bool) -> String {
+fn search_row_json(r: &SearchRow) -> String {
     format!(
-        "    {{\"kernel\": \"{}\", \"candidates\": {}, \"legal\": {}, \
+        "{{\"kernel\": \"{}\", \"candidates\": {}, \"legal\": {}, \
          \"products\": {}, \"winner_cycles\": {}, \
          \"baseline_secs\": {:.6}, \"memoized_secs\": {:.6}, \
          \"speedup\": {:.3}, \
@@ -472,7 +482,7 @@ fn search_row_json(r: &SearchRow, comma: bool) -> String {
          \"projection_queries\": {}, \"projection_hit_rate\": {:.4}, \
          \"gist_queries\": {}, \"gist_hit_rate\": {:.4}, \
          \"splinters\": {}, \"dark_shadow_fallbacks\": {}, \
-         \"fm_rows_combined\": {}, \"fm_rows_pruned\": {}}}{}\n",
+         \"fm_rows_combined\": {}, \"fm_rows_pruned\": {}}}",
         r.kernel,
         r.outcome.candidates,
         r.outcome.legal,
@@ -491,11 +501,138 @@ fn search_row_json(r: &SearchRow, comma: bool) -> String {
         r.stats.dark_shadow_fallbacks,
         r.stats.fm_rows_combined,
         r.stats.fm_rows_pruned,
-        if comma { "," } else { "" }
     )
 }
 
 /// SPD workspace initializer for the Cholesky search probe.
 fn shackle_kernels_spd_init(n: usize) -> impl Fn(&str, &[usize]) -> f64 + Sync {
-    shackle_kernels::gen::spd_ws_init("A", n, 3)
+    gen::spd_ws_init("A", n, 3)
+}
+
+/// Instrumented pipeline pass: measure the probe overhead on the
+/// compiled hot path, profile the full pipeline for two kernels, print
+/// the phase tree and write `BENCH_profile.json`.
+fn profile_report() {
+    // 1. Overhead on the hot path: the same compiled execution, probe
+    // off vs probe on. The instrumentation is batch-level (one span and
+    // a handful of counter adds per run), so the two must be within
+    // noise of each other; the 2% bound is the CI tripwire for someone
+    // accidentally adding per-access instrumentation.
+    let n = 96i64;
+    let p = kernels::matmul_ijk();
+    let params = BTreeMap::from([("N".to_string(), n)]);
+    let template = Workspace::for_program(&p, &params, |_, _| 1.0);
+    let cp = compile(&p);
+    let mut warm = template.clone();
+    cp.execute(&mut warm, &params, &mut NullObserver);
+    assert!(!probe::enabled(), "reports above must run uninstrumented");
+    // Interleave the disabled/enabled samples pairwise: scheduler and
+    // frequency drift then hits both sides equally, so best-of-10 is
+    // stable to well under a percent where back-to-back blocks are not.
+    let mut disabled_secs = f64::MAX;
+    let mut enabled_secs = f64::MAX;
+    for _ in 0..10 {
+        let t = Instant::now();
+        let mut ws = template.clone();
+        cp.execute(&mut ws, &params, &mut NullObserver);
+        disabled_secs = disabled_secs.min(t.elapsed().as_secs_f64());
+        probe::set_enabled(true);
+        let t = Instant::now();
+        let mut ws = template.clone();
+        cp.execute(&mut ws, &params, &mut NullObserver);
+        enabled_secs = enabled_secs.min(t.elapsed().as_secs_f64());
+        probe::set_enabled(false);
+    }
+    let ratio = enabled_secs / disabled_secs;
+    println!(
+        "\nprobe overhead on compiled matmul n={n}: disabled {disabled_secs:.4}s, \
+         enabled {enabled_secs:.4}s, ratio {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.02,
+        "instrumentation overhead {ratio:.4} exceeds the 2% bound"
+    );
+
+    // 2. Instrumented pipeline pass per kernel — cold polyhedral cache
+    // so the search does real omega/FM work, not lookups.
+    probe::reset();
+    cache::clear_cache();
+    cache::reset_stats();
+    probe::set_enabled(true);
+    profile_kernel(
+        "cholesky_right",
+        &kernels::cholesky_right(),
+        16,
+        32,
+        gen::spd_ws_init("A", 32, 3),
+    );
+    profile_kernel(
+        "matmul_ijk",
+        &kernels::matmul_ijk(),
+        8,
+        32,
+        |_: &str, _: &[usize]| 1.0,
+    );
+    cache::publish_stats();
+    probe::set_enabled(false);
+    let profile = probe::profile();
+    print!("\n{}", profile.render_tree());
+
+    // 3. Emit the machine-readable artifact.
+    let mut report = BenchReport::new();
+    report.field_str("schema", "shackle-probe-profile-v1");
+    report.field_raw(
+        "overhead",
+        format!(
+            "{{\"disabled_secs\": {disabled_secs:.6}, \
+             \"enabled_secs\": {enabled_secs:.6}, \"ratio\": {ratio:.4}}}"
+        ),
+    );
+    report.field_raw("profile", profile.to_json().trim_end());
+    report
+        .write("BENCH_profile.json")
+        .expect("write BENCH_profile.json");
+    println!("wrote BENCH_profile.json");
+}
+
+/// One instrumented pipeline pass: search (enumerate + grow, with the
+/// Theorem-1 legality queries nested inside), codegen, compiled
+/// execution and the memory-hierarchy sweep, all under a per-kernel
+/// span so the phase tree groups by kernel.
+fn profile_kernel(
+    kernel: &'static str,
+    program: &Program,
+    width: i64,
+    n: i64,
+    init: impl Fn(&str, &[usize]) -> f64 + Sync,
+) {
+    let _kernel = probe::span(kernel);
+    let deps = dependences(program);
+    let product = {
+        let _s = probe::span("search");
+        let cfg = SearchConfig {
+            width,
+            ..Default::default()
+        };
+        let legal = enumerate_legal_with_deps(program, &cfg, &deps);
+        let seed = vec![legal[0].shackle.clone()];
+        complete_product_with_deps(program, seed, &legal, &deps)
+    };
+    let blocked = generate_scanned(program, &product);
+    let params = BTreeMap::from([("N".to_string(), n)]);
+    {
+        let _s = probe::span("exec");
+        let mut ws = Workspace::for_program(&blocked, &params, &init);
+        execute_compiled(&blocked, &mut ws, &params, &mut NullObserver);
+    }
+    {
+        let _s = probe::span("memsim");
+        let (_, trace) = CompactTrace::capture(&blocked, &params, &init);
+        let kb = 1024;
+        let grid = shackle_bench::memsweep::config_grid(64, &[8 * kb, 32 * kb, 128 * kb], &[2, 4]);
+        let mut sim = StackSim::new(grid[0].line, &grid);
+        trace.replay_into(&mut sim);
+        let mut h = Hierarchy::sp2_thin_node();
+        trace.replay_into(&mut h);
+    }
 }

@@ -12,9 +12,7 @@
 //!
 //! `--quick` shrinks the problem size and width set (CI perf smoke).
 
-use shackle_bench::memsweep::{config_grid, render_sweep, sweep_programs};
-use shackle_ir::Program;
-use shackle_kernels::shackles;
+use shackle_bench::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -22,10 +20,10 @@ fn main() {
     let n: i64 = if quick { 96 } else { 250 };
     let widths: &[i64] = if quick { &[8, 32] } else { &[4, 8, 16, 32, 64] };
 
-    let p = shackle_ir::kernels::cholesky_right();
+    let p = kernels::cholesky_right();
     let mut points: Vec<(String, Program)> = vec![("input".to_string(), p.clone())];
     for &w in widths {
-        let blocked = shackle_core::scan::generate_scanned(&p, &shackles::cholesky_product(&p, w));
+        let blocked = generate_scanned(&p, &shackles::cholesky_product(&p, w));
         points.push((format!("blocked w={w}"), blocked));
     }
 
@@ -38,7 +36,7 @@ fn main() {
     );
 
     let params = BTreeMap::from([("N".to_string(), n)]);
-    let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 11);
+    let init = gen::spd_ws_init("A", n as usize, 11);
     let rows = sweep_programs(&points, &params, &init, &grid);
     print!(
         "{}",

@@ -31,6 +31,8 @@ use std::collections::BTreeMap;
 pub use shackle_core::par;
 
 pub mod memsweep;
+pub mod prelude;
+pub mod report;
 pub mod searchperf;
 
 /// The CPU-side cost model, calibrated to the paper's reported plateaus
@@ -115,6 +117,21 @@ pub fn render_table(title: &str, xlabel: &str, series: &[Series]) -> String {
     out
 }
 
+/// Run `f` with probe instrumentation enabled and return its result
+/// together with the rendered phase tree.
+///
+/// The figure binaries wrap their sweep in this to print per-phase
+/// timing lines after the table. The probe registry is reset first so
+/// the tree covers exactly this call, and the previous enabled state is
+/// restored afterwards.
+pub fn timed_phases<T>(f: impl FnOnce() -> T) -> (T, String) {
+    shackle_probe::reset();
+    let was = shackle_probe::set_enabled(true);
+    let out = f();
+    shackle_probe::set_enabled(was);
+    (out, shackle_probe::profile().render_tree())
+}
+
 fn params_n(n: i64) -> BTreeMap<String, i64> {
     BTreeMap::from([("N".to_string(), n)])
 }
@@ -145,6 +162,7 @@ fn mflops(stats: ExecStats, cycles: u64, m: PerfModel) -> f64 {
 ///   compiler-generated code has the right block structure"), all-BLAS3
 ///   model.
 pub fn figure11(sizes: &[i64], width: i64) -> Vec<Series> {
+    let _phase = shackle_probe::span("figure11");
     let p = shackle_ir::kernels::cholesky_right();
     let factors = shackles::cholesky_product(&p, width);
     let blocked = shackle_core::scan::generate_scanned(&p, &factors);
@@ -164,6 +182,7 @@ pub fn figure11(sizes: &[i64], width: i64) -> Vec<Series> {
     // results come back in size order, so the series are identical to
     // a serial sweep
     let rows = par::map(sizes, |&n| {
+        let _point = shackle_probe::span("simulate");
         let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 11);
         let (si, ci) = run_traced(&p, &params_n(n), &init);
         let (sb, cb) = run_traced(&blocked, &params_n(n), &init);
@@ -188,6 +207,7 @@ pub fn figure11(sizes: &[i64], width: i64) -> Vec<Series> {
 /// different algorithm exploiting associativity), so both its flops and
 /// its memory behaviour are its own.
 pub fn figure12(sizes: &[i64], width: i64) -> Vec<Series> {
+    let _phase = shackle_probe::span("figure12");
     let p = shackle_ir::kernels::qr_householder();
     let factors = shackles::qr_columns(&p, width);
     let blocked = shackle_core::scan::generate_scanned(&p, &factors);
@@ -204,6 +224,7 @@ pub fn figure12(sizes: &[i64], width: i64) -> Vec<Series> {
     })
     .collect();
     let rows = par::map(sizes, |&n| {
+        let _point = shackle_probe::span("simulate");
         let init = shackle_exec::verify::hash_init(13);
         let (si, ci) = run_traced(&p, &params_n(n), init);
         let init = shackle_exec::verify::hash_init(13);
@@ -234,6 +255,7 @@ pub fn figure12(sizes: &[i64], width: i64) -> Vec<Series> {
 ///
 /// Returns `(elimination_speedup, whole_benchmark_speedup)`.
 pub fn figure13_gmtry(n: i64, width: i64) -> (f64, f64) {
+    let _phase = shackle_probe::span("figure13_gmtry");
     let p = shackle_ir::kernels::gauss();
     let factors = shackles::gauss_product(&p, width);
     let blocked = shackle_core::scan::generate_scanned(&p, &factors);
@@ -268,6 +290,7 @@ pub fn figure13_gmtry(n: i64, width: i64) -> (f64, f64) {
 /// Figure 13(ii): ADI — speedup of the transformed (fused + interchanged)
 /// code over the input code at size `n`.
 pub fn figure13_adi(n: i64) -> f64 {
+    let _phase = shackle_probe::span("figure13_adi");
     let p = shackle_ir::kernels::adi();
     let factors = shackles::adi_storage_order(&p);
     let blocked = shackle_core::scan::generate_scanned(&p, &factors);
@@ -294,6 +317,7 @@ pub fn figure13_adi(n: i64) -> f64 {
 /// * LAPACK — traced `dpbtrf`-style blocked code on band storage, with
 ///   the BLAS-3 size ramp (small bands cannot amortize BLAS overhead).
 pub fn figure15(n: i64, bands: &[i64], width: i64) -> Vec<Series> {
+    let _phase = shackle_probe::span("figure15");
     let p = shackle_ir::kernels::banded_cholesky();
     let factors = shackles::banded_writes(&p, width);
     let blocked = shackle_core::scan::generate_scanned(&p, &factors);
@@ -309,6 +333,7 @@ pub fn figure15(n: i64, bands: &[i64], width: i64) -> Vec<Series> {
     })
     .collect();
     let rows = par::map(bands, |&bw| {
+        let _point = shackle_probe::span("simulate");
         let params = BTreeMap::from([("N".to_string(), n), ("P".to_string(), bw)]);
         let init = shackle_kernels::gen::banded_ws_init("A", n as usize, bw as usize, 19);
         let (si, ci) = run_traced(&p, &params, &init);
@@ -373,6 +398,7 @@ pub fn figure10_on(
     w2: i64,
     mk: impl Fn() -> Hierarchy + Sync,
 ) -> Vec<MultiLevelRow> {
+    let _phase = shackle_probe::span("figure10");
     let p = shackle_ir::kernels::matmul_ijk();
     let one = shackle_core::scan::generate_scanned(&p, &shackles::matmul_ca(&p, w1));
     let two = shackle_core::scan::generate_scanned(&p, &shackles::matmul_two_level(&p, w1, w2));
@@ -383,6 +409,7 @@ pub fn figure10_on(
         ("two-level (Fig. 10)", &two),
     ];
     par::map(&variants, |&(label, prog)| {
+        let _point = shackle_probe::span("simulate");
         let mut h = mk();
         trace_execution(prog, &params_n(n), &init, &mut h);
         let ls = h.level_stats();

@@ -60,7 +60,7 @@ pub struct SweepRow {
 pub fn sweep_trace(label: &str, trace: &CompactTrace, grid: &[CacheConfig]) -> SweepRow {
     let line = grid.first().expect("empty grid").line;
     let mut sim = StackSim::new(line, grid);
-    trace.replay_stack(&mut sim);
+    trace.replay_into(&mut sim);
     SweepRow {
         label: label.to_string(),
         accesses: trace.len() as u64,
@@ -146,7 +146,7 @@ mod tests {
         let row = sweep_trace("matmul", &trace, &grid);
         for (cfg, s) in grid.iter().zip(&row.stats) {
             let mut c = shackle_memsim::Cache::new(*cfg);
-            trace.replay_cache(&mut c);
+            trace.replay_into(&mut c);
             assert_eq!(*s, c.stats(), "{cfg:?}");
         }
     }

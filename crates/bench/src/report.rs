@@ -1,0 +1,214 @@
+//! One report builder for every `BENCH_*.json` artifact.
+//!
+//! The performance report used to carry three copy-pasted JSON
+//! emitters, each hand-assembling braces, commas and indentation.
+//! [`BenchReport`] centralizes that: a report is an ordered list of
+//! *sections* (named arrays of row objects) and *fields* (named raw
+//! values), rendered with the exact two-space layout the existing
+//! artifacts use — the output is byte-identical to the old inline
+//! writers — and written atomically (temp file + rename) so a crashed
+//! run never leaves a truncated artifact behind.
+
+use std::io;
+use std::path::Path;
+
+enum Part {
+    Section { name: String, rows: Vec<String> },
+    Field { name: String, raw: String },
+}
+
+/// Builder for a `BENCH_*.json` report.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_bench::report::BenchReport;
+/// let mut r = BenchReport::new();
+/// r.section("benchmarks")
+///     .row("{\"kernel\": \"matmul\", \"speedup\": 3.0}");
+/// assert_eq!(
+///     r.render(),
+///     "{\n  \"benchmarks\": [\n    {\"kernel\": \"matmul\", \"speedup\": 3.0}\n  ]\n}\n"
+/// );
+/// ```
+#[derive(Default)]
+pub struct BenchReport {
+    parts: Vec<Part>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new named section (a JSON array of row objects).
+    /// Subsequent [`BenchReport::row`] calls append to it.
+    pub fn section(&mut self, name: &str) -> &mut Self {
+        self.parts.push(Part::Section {
+            name: name.to_string(),
+            rows: Vec::new(),
+        });
+        self
+    }
+
+    /// Append one row — a complete JSON object, no indentation or
+    /// trailing comma — to the most recent section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section has been started.
+    pub fn row(&mut self, json_object: impl Into<String>) -> &mut Self {
+        match self.parts.last_mut() {
+            Some(Part::Section { rows, .. }) => rows.push(json_object.into()),
+            _ => panic!("BenchReport::row called before BenchReport::section"),
+        }
+        self
+    }
+
+    /// Append a named top-level field with a raw (pre-serialized) JSON
+    /// value — an object, number, or already-quoted string.
+    pub fn field_raw(&mut self, name: &str, raw: impl Into<String>) -> &mut Self {
+        self.parts.push(Part::Field {
+            name: name.to_string(),
+            raw: raw.into(),
+        });
+        self
+    }
+
+    /// Append a named top-level string field (quoted and escaped).
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        let mut quoted = String::with_capacity(value.len() + 2);
+        quoted.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => quoted.push_str("\\\""),
+                '\\' => quoted.push_str("\\\\"),
+                '\n' => quoted.push_str("\\n"),
+                c if (c as u32) < 0x20 => quoted.push_str(&format!("\\u{:04x}", c as u32)),
+                c => quoted.push(c),
+            }
+        }
+        quoted.push('"');
+        self.field_raw(name, quoted)
+    }
+
+    /// Render the report to its canonical text form.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::with_capacity(self.parts.len());
+        for part in &self.parts {
+            match part {
+                Part::Section { name, rows } => {
+                    let mut s = format!("  \"{name}\": [\n");
+                    for (i, row) in rows.iter().enumerate() {
+                        s.push_str("    ");
+                        s.push_str(row);
+                        if i + 1 < rows.len() {
+                            s.push(',');
+                        }
+                        s.push('\n');
+                    }
+                    s.push_str("  ]");
+                    parts.push(s);
+                }
+                Part::Field { name, raw } => {
+                    parts.push(format!("  \"{name}\": {raw}"));
+                }
+            }
+        }
+        format!("{{\n{}\n}}\n", parts.join(",\n"))
+    }
+
+    /// Render and write the report atomically: the rendered text goes
+    /// to `<path>.tmp` first and is renamed over `path`, so a report
+    /// either exists completely or not at all.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Assert a measured speedup clears a floor — the report's regression
+/// tripwire. Floors are deliberately far below typical measurements so
+/// only a genuine pipeline regression (or a broken measurement) trips
+/// them, not scheduler noise.
+///
+/// # Panics
+///
+/// Panics if `speedup` is not finite or falls below `floor`.
+pub fn assert_speedup(label: &str, speedup: f64, floor: f64) {
+    assert!(
+        speedup.is_finite() && speedup >= floor,
+        "{label}: speedup {speedup:.3}x below the {floor:.2}x floor"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_section_matches_legacy_exec_layout() {
+        let mut r = BenchReport::new();
+        r.section("benchmarks")
+            .row("{\"kernel\": \"a\", \"n\": 1}")
+            .row("{\"kernel\": \"b\", \"n\": 2}");
+        assert_eq!(
+            r.render(),
+            "{\n  \"benchmarks\": [\n    {\"kernel\": \"a\", \"n\": 1},\n    \
+             {\"kernel\": \"b\", \"n\": 2}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn sections_and_fields_match_legacy_search_layout() {
+        let mut r = BenchReport::new();
+        r.section("search").row("{\"kernel\": \"x\"}");
+        r.section("score_bound").row("{\"kernel\": \"y\"}");
+        r.field_str("score_bound_note", "a note");
+        r.field_raw("aggregate", "{\"speedup\": 2.000}");
+        assert_eq!(
+            r.render(),
+            "{\n  \"search\": [\n    {\"kernel\": \"x\"}\n  ],\n  \
+             \"score_bound\": [\n    {\"kernel\": \"y\"}\n  ],\n  \
+             \"score_bound_note\": \"a note\",\n  \
+             \"aggregate\": {\"speedup\": 2.000}\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_section_renders_as_empty_array() {
+        let mut r = BenchReport::new();
+        r.section("rows");
+        assert_eq!(r.render(), "{\n  \"rows\": [\n  ]\n}\n");
+    }
+
+    #[test]
+    fn field_str_escapes_quotes_and_backslashes() {
+        let mut r = BenchReport::new();
+        r.field_str("note", "say \"hi\"\\\n");
+        assert_eq!(r.render(), "{\n  \"note\": \"say \\\"hi\\\"\\\\\\n\"\n}\n");
+    }
+
+    #[test]
+    fn write_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("shackle_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let mut r = BenchReport::new();
+        r.section("rows").row("{\"k\": 1}");
+        r.write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), r.render());
+        assert!(!path.with_extension("json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "below the")]
+    fn assert_speedup_trips_on_regression() {
+        assert_speedup("exec", 0.5, 1.0);
+    }
+}

@@ -63,6 +63,8 @@ struct Piece {
 /// assert!(!code.to_string().contains("if ("));
 /// ```
 pub fn generate_scanned(program: &Program, factors: &[Shackle]) -> Program {
+    let _phase = shackle_probe::span("codegen");
+    shackle_probe::add("core.codegen_programs", 1);
     assert!(!factors.is_empty(), "need at least one shackle");
     for f in factors {
         for k in 0..f.coord_count() {

@@ -14,6 +14,18 @@ use shackle_ir::Program;
 use shackle_polyhedra::lex::lex_lt;
 use shackle_polyhedra::{LinExpr, System};
 use std::fmt;
+use std::sync::LazyLock;
+
+/// Total Theorem-1 verdicts rendered (one per candidate×dependence-set
+/// query), published to the probe counter `core.legality_queries`.
+static LEGALITY_QUERIES: LazyLock<&'static shackle_probe::Counter> =
+    LazyLock::new(|| shackle_probe::counter("core.legality_queries"));
+
+fn count_legality_query() {
+    if shackle_probe::enabled() {
+        LEGALITY_QUERIES.add(1);
+    }
+}
 
 /// A witnessed legality violation: a dependence together with a
 /// constraint system whose integer points are dependent instance pairs
@@ -104,6 +116,8 @@ pub fn check_legality_with_deps(
     factors: &[Shackle],
     deps: &[Dependence],
 ) -> LegalityReport {
+    let _phase = shackle_probe::span("legality");
+    count_legality_query();
     let ctx = LegalityContext::new(program, factors);
     let mut violations = Vec::new();
     for dep in deps {
@@ -128,6 +142,8 @@ pub fn check_legality_with_deps(
 /// whether *some* probe is feasible); only the work done differs. This
 /// is the hot path of [`crate::search::enumerate_legal`].
 pub fn is_legal_with_deps(program: &Program, factors: &[Shackle], deps: &[Dependence]) -> bool {
+    let _phase = shackle_probe::span("legality");
+    count_legality_query();
     LegalityContext::new(program, factors).is_legal(deps)
 }
 
@@ -142,6 +158,8 @@ pub fn check_legality_reference(
     factors: &[Shackle],
     deps: &[Dependence],
 ) -> LegalityReport {
+    let _phase = shackle_probe::span("legality");
+    count_legality_query();
     let mut violations = Vec::new();
     for dep in deps {
         let src_vars: Vec<String> = program

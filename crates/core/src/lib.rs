@@ -41,6 +41,7 @@ mod shackle;
 
 pub mod codegen;
 pub mod par;
+pub mod prelude;
 pub mod search;
 pub mod span;
 

@@ -44,19 +44,26 @@ pub fn map_with<T: Sync, R: Send>(
     if threads == 1 {
         return items.iter().map(&f).collect();
     }
+    // Workers adopt the spawning thread's probe span path, so phase
+    // attribution is identical at any thread count (empty, and free,
+    // when instrumentation is disabled).
+    let ambient = shackle_probe::current_path();
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|s| {
         for _ in 0..threads {
             let tx = tx.clone();
-            let (next, f) = (&next, &f);
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                if tx.send((i, f(&items[i]))).is_err() {
-                    break;
+            let (next, f, ambient) = (&next, &f, ambient.clone());
+            s.spawn(move || {
+                let _path = shackle_probe::with_path(ambient);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if tx.send((i, f(&items[i]))).is_err() {
+                        break;
+                    }
                 }
             });
         }

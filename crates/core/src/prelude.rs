@@ -1,0 +1,30 @@
+//! One-stop imports for the compile-time pipeline.
+//!
+//! Re-exports the types and functions that nearly every consumer of the
+//! shackling pipeline touches: the shackle vocabulary from this crate,
+//! the IR surface ([`Program`], [`ArrayRef`], dependence analysis, the
+//! built-in kernels) and the polyhedral substrate ([`System`],
+//! [`LinExpr`]). Downstream crates layer their own preludes on top
+//! (`shackle_bench::prelude` adds execution, simulation and
+//! instrumentation).
+//!
+//! ```
+//! use shackle_core::prelude::*;
+//!
+//! let p = kernels::matmul_ijk();
+//! let s = Shackle::on_writes(&p, Blocking::square("C", 2, &[0, 1], 25));
+//! assert!(check_legality(&p, &[s]).is_legal());
+//! ```
+
+pub use crate::codegen::{naive::generate_naive, scan::generate_scanned};
+pub use crate::search::{
+    candidate_shackles, complete_product, complete_product_with_deps, enumerate_legal,
+    enumerate_legal_with_deps, Candidate, SearchConfig,
+};
+pub use crate::{
+    check_legality, check_legality_reference, check_legality_with_deps, is_legal_with_deps,
+    Blocking, CutSet, LegalityReport, Shackle, Violation,
+};
+pub use shackle_ir::deps::{dependences, Dependence};
+pub use shackle_ir::{kernels, ArrayDecl, ArrayRef, Program, Statement, StmtId};
+pub use shackle_polyhedra::{Constraint, LinExpr, System};

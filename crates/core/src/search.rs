@@ -26,6 +26,16 @@ use crate::legality::LegalityContext;
 use crate::{is_legal_with_deps, par, span, Blocking, CutSet, Shackle};
 use shackle_ir::deps::{dependences, Dependence};
 use shackle_ir::{ArrayRef, Program, StmtId};
+use std::sync::LazyLock;
+
+/// Candidates tested by [`enumerate_legal_with_deps`], published to the
+/// probe counter `search.candidates`.
+static CANDIDATES: LazyLock<&'static shackle_probe::Counter> =
+    LazyLock::new(|| shackle_probe::counter("search.candidates"));
+/// Candidates surviving the Theorem-1 filter, published to
+/// `search.legal`.
+static LEGAL: LazyLock<&'static shackle_probe::Counter> =
+    LazyLock::new(|| shackle_probe::counter("search.legal"));
 
 /// Search configuration.
 #[derive(Clone, Debug)]
@@ -93,10 +103,17 @@ pub fn enumerate_legal_with_deps(
     config: &SearchConfig,
     deps: &[Dependence],
 ) -> Vec<Candidate> {
+    let _phase = shackle_probe::span("enumerate");
     let worklist = candidate_shackles(program, config);
+    if shackle_probe::enabled() {
+        CANDIDATES.add(worklist.len() as u64);
+    }
     let verdicts = par::map(&worklist, |shackle| {
         is_legal_with_deps(program, std::slice::from_ref(shackle), deps)
     });
+    if shackle_probe::enabled() {
+        LEGAL.add(verdicts.iter().filter(|&&v| v).count() as u64);
+    }
     let mut out: Vec<Candidate> = Vec::new();
     for (shackle, legal) in worklist.into_iter().zip(verdicts) {
         if !legal {
@@ -234,6 +251,7 @@ pub fn complete_product_with_deps(
     candidates: &[Candidate],
     deps: &[Dependence],
 ) -> Vec<Shackle> {
+    let _phase = shackle_probe::span("grow");
     let mut product = seed;
     loop {
         let open = span::unconstrained_refs(program, &product);

@@ -23,7 +23,7 @@
 //!   counter.
 //!
 //! Accesses are buffered and delivered to the observer in chunks via
-//! [`Observer::access_batch`], eliminating a virtual call per element.
+//! [`Observer::record_many`], eliminating a virtual call per element.
 //!
 //! The tree interpreter ([`crate::execute`]) remains the semantics of
 //! record; this engine is validated against it bit-for-bit (values,
@@ -40,7 +40,7 @@ use shackle_polyhedra::num::{ceil_div, floor_div};
 use shackle_polyhedra::{LinExpr, Rel};
 use std::collections::BTreeMap;
 
-/// Accesses buffered before each [`Observer::access_batch`] delivery.
+/// Accesses buffered before each [`Observer::record_many`] delivery.
 const BATCH: usize = 4096;
 
 /// An affine form over frame slots: `constant + Σ coeff·frame[slot]`.
@@ -194,6 +194,8 @@ pub struct CompiledProgram {
 /// subscript or guard) — conditions [`Program`] validation already
 /// rejects.
 pub fn compile(program: &Program) -> CompiledProgram {
+    let _phase = shackle_probe::span("compile");
+    shackle_probe::add("exec.programs_compiled", 1);
     let mut c = Compiler {
         program,
         scope: Vec::new(),
@@ -549,6 +551,7 @@ impl CompiledProgram {
         params: &BTreeMap<String, i64>,
         observer: &mut dyn Observer,
     ) -> ExecStats {
+        let _phase = shackle_probe::span("run");
         let mut frame = self.frame(params);
         let linked = self.link(workspace);
 
@@ -661,7 +664,7 @@ impl CompiledProgram {
                     stats.instances += 1;
                     stats.flops += st.flops;
                     if buf.len() >= BATCH {
-                        observer.access_batch(&buf);
+                        observer.record_many(&buf);
                         buf.clear();
                     }
                     pc += 1;
@@ -669,8 +672,9 @@ impl CompiledProgram {
             }
         }
         if !buf.is_empty() {
-            observer.access_batch(&buf);
+            observer.record_many(&buf);
         }
+        crate::publish_exec_stats(&stats);
         stats
     }
 }
@@ -801,7 +805,7 @@ mod tests {
     #[derive(Default)]
     struct Collect(Vec<(String, usize, bool)>);
     impl Observer for Collect {
-        fn access(&mut self, a: Access<'_>) {
+        fn record(&mut self, a: Access<'_>) {
             self.0.push((a.array.to_string(), a.offset, a.write));
         }
     }
@@ -937,13 +941,13 @@ mod tests {
             batches: usize,
         }
         impl Observer for Batches {
-            fn access(&mut self, a: Access<'_>) {
+            fn record(&mut self, a: Access<'_>) {
                 self.flat.push(a.offset);
             }
-            fn access_batch(&mut self, accesses: &[Access<'_>]) {
+            fn record_many(&mut self, accesses: &[Access<'_>]) {
                 self.batches += 1;
                 for &a in accesses {
-                    self.access(a);
+                    self.record(a);
                 }
             }
         }

@@ -27,21 +27,40 @@ pub struct Access<'a> {
 ///
 /// The cache simulator implements this to turn executions into address
 /// traces; [`NullObserver`] ignores everything.
+///
+/// Implement [`Observer::record`] (the per-element entry point);
+/// override [`Observer::record_many`] where per-batch work can be
+/// amortized — the compiled engine buffers accesses and delivers them
+/// through it, eliminating one virtual call per element. The old
+/// `access` / `access_batch` names survive as deprecated forwards, so
+/// pre-redesign observers that override them keep working unchanged;
+/// an implementation must override at least one of `record` /
+/// `access` (the defaults forward to each other).
 pub trait Observer {
     /// Called once per element load/store.
-    fn access(&mut self, access: Access<'_>);
+    fn record(&mut self, access: Access<'_>) {
+        #[allow(deprecated)]
+        self.access(access);
+    }
 
     /// Called with a chunk of consecutive accesses in program order.
-    ///
-    /// The compiled engine buffers accesses and delivers them through
-    /// this hook, eliminating one virtual call per element. The default
-    /// forwards each element to [`Observer::access`], so existing
-    /// observers keep working unchanged; high-throughput observers
-    /// (the cache simulator bridge) override it.
-    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+    /// The default forwards each element to [`Observer::record`].
+    fn record_many(&mut self, accesses: &[Access<'_>]) {
         for &a in accesses {
-            self.access(a);
+            self.record(a);
         }
+    }
+
+    /// Deprecated name for [`Observer::record`].
+    #[deprecated(since = "0.1.0", note = "renamed to `Observer::record`")]
+    fn access(&mut self, access: Access<'_>) {
+        self.record(access);
+    }
+
+    /// Deprecated name for [`Observer::record_many`].
+    #[deprecated(since = "0.1.0", note = "renamed to `Observer::record_many`")]
+    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+        self.record_many(accesses);
     }
 }
 
@@ -50,8 +69,8 @@ pub trait Observer {
 pub struct NullObserver;
 
 impl Observer for NullObserver {
-    fn access(&mut self, _access: Access<'_>) {}
-    fn access_batch(&mut self, _accesses: &[Access<'_>]) {}
+    fn record(&mut self, _access: Access<'_>) {}
+    fn record_many(&mut self, _accesses: &[Access<'_>]) {}
 }
 
 /// Execution statistics.
@@ -100,6 +119,7 @@ pub fn execute(
     params: &BTreeMap<String, i64>,
     observer: &mut dyn Observer,
 ) -> ExecStats {
+    let _phase = shackle_probe::span("interp");
     let mut interp = Interp {
         program,
         workspace,
@@ -109,6 +129,7 @@ pub fn execute(
         flops_per_stmt: program.stmts().iter().map(count_flops).collect(),
     };
     interp.run_nodes(program.body());
+    crate::publish_exec_stats(&interp.stats);
     interp.stats
 }
 
@@ -223,7 +244,7 @@ impl Interp<'_> {
             .unwrap_or_else(|| panic!("unknown array {}", stmt.write().array()));
         let offset = arr.offset(&idx);
         arr.data_mut()[offset] = value;
-        self.observer.access(Access {
+        self.observer.record(Access {
             array: stmt.write().array(),
             offset,
             write: true,
@@ -244,7 +265,7 @@ impl Interp<'_> {
                     .unwrap_or_else(|| panic!("unknown array {}", r.array()));
                 let offset = arr.offset(&idx);
                 let v = arr.data()[offset];
-                self.observer.access(Access {
+                self.observer.record(Access {
                     array: r.array(),
                     offset,
                     write: false,
@@ -401,7 +422,7 @@ mod tests {
     fn observer_sees_accesses_in_order() {
         struct Collect(Vec<(String, usize, bool)>);
         impl Observer for Collect {
-            fn access(&mut self, a: Access<'_>) {
+            fn record(&mut self, a: Access<'_>) {
                 self.0.push((a.array.to_string(), a.offset, a.write));
             }
         }
@@ -419,6 +440,32 @@ mod tests {
                 ("C".to_string(), 0, true),
             ]
         );
+    }
+
+    #[test]
+    fn legacy_observer_names_still_receive_accesses() {
+        // a pre-redesign observer overriding only the deprecated
+        // `access` hook: the forwarding defaults must still feed it
+        struct Legacy(u64);
+        #[allow(deprecated)]
+        impl Observer for Legacy {
+            fn access(&mut self, _a: Access<'_>) {
+                self.0 += 1;
+            }
+        }
+        let p = kernels::matmul_ijk();
+        let mut ws = Workspace::for_program(&p, &params(2), |_, _| 1.0);
+        let mut obs = Legacy(0);
+        let stats = execute(&p, &mut ws, &params(2), &mut obs);
+        assert_eq!(obs.0, stats.loads + stats.stores);
+        // the deprecated batch name forwards into the same path
+        #[allow(deprecated)]
+        obs.access_batch(&[Access {
+            array: "C",
+            offset: 0,
+            write: false,
+        }]);
+        assert_eq!(obs.0, stats.loads + stats.stores + 1);
     }
 
     #[test]

@@ -43,3 +43,27 @@ pub mod verify;
 pub use array::{DenseArray, Workspace};
 pub use compile::{compile, execute_compiled, CompiledProgram, InstanceRunner};
 pub use interp::{execute, Access, ExecStats, NullObserver, Observer};
+
+use std::sync::LazyLock;
+
+static INSTANCES: LazyLock<&'static shackle_probe::Counter> =
+    LazyLock::new(|| shackle_probe::counter("exec.instances"));
+static LOADS: LazyLock<&'static shackle_probe::Counter> =
+    LazyLock::new(|| shackle_probe::counter("exec.loads"));
+static STORES: LazyLock<&'static shackle_probe::Counter> =
+    LazyLock::new(|| shackle_probe::counter("exec.stores"));
+static FLOPS: LazyLock<&'static shackle_probe::Counter> =
+    LazyLock::new(|| shackle_probe::counter("exec.flops"));
+
+/// Fold a finished execution's statistics into the probe counters
+/// (`exec.instances` / `exec.loads` / `exec.stores` / `exec.flops`).
+/// Called once per [`execute`] / [`execute_compiled`] run; no-op when
+/// instrumentation is disabled.
+pub(crate) fn publish_exec_stats(stats: &ExecStats) {
+    if shackle_probe::enabled() {
+        INSTANCES.add(stats.instances);
+        LOADS.add(stats.loads);
+        STORES.add(stats.stores);
+        FLOPS.add(stats.flops);
+    }
+}

@@ -19,7 +19,7 @@ fn params(n: i64) -> BTreeMap<String, i64> {
 struct Collect(Vec<(String, usize, bool)>);
 
 impl Observer for Collect {
-    fn access(&mut self, a: Access) {
+    fn record(&mut self, a: Access) {
         self.0.push((a.array.to_string(), a.offset, a.write));
     }
 }

@@ -3,10 +3,10 @@
 //! Every point of a figure sweep used to re-execute its kernel once per
 //! cache configuration just to regenerate the same address stream. A
 //! [`CompactTrace`] captures that stream once — as 32-bit IDs at a fixed
-//! power-of-two granularity — and replays it into any number of
-//! simulators: direct [`Hierarchy`]s, standalone [`Cache`]s, or a
-//! [`StackSim`] that derives a whole configuration family from a single
-//! pass.
+//! power-of-two granularity — and replays it into any
+//! [`AccessSink`] via [`CompactTrace::replay_into`]: direct
+//! [`Hierarchy`]s, standalone [`Cache`]s, or a [`StackSim`] that
+//! derives a whole configuration family from a single pass.
 //!
 //! Quantizing to a granularity `g` that divides every line and page
 //! size of interest is lossless for cache simulation: a level with line
@@ -20,7 +20,7 @@
 use crate::trace::{AddressMap, ELEM_BYTES};
 use shackle_exec::{Access, ExecStats, Observer, Workspace};
 use shackle_ir::Program;
-use shackle_memsim::{Cache, Hierarchy, StackSim};
+use shackle_memsim::{AccessSink, Cache, Hierarchy, StackSim};
 use std::collections::BTreeMap;
 
 /// A compact, immutable-once-captured stream of memory-access IDs.
@@ -93,28 +93,27 @@ impl CompactTrace {
         self.ids.iter().map(move |&id| id as u64 * g)
     }
 
-    /// Replay into a [`Hierarchy`] — identical stats and cycles to the
-    /// original live-traced execution, provided the granularity divides
-    /// every level's line size and the TLB page size.
-    pub fn replay(&self, h: &mut Hierarchy) {
-        for l in h.levels() {
+    /// Replay into any [`AccessSink`] — identical stats and cycles to
+    /// the original live-traced execution, provided the capture
+    /// granularity divides the sink's (see
+    /// [`AccessSink::granularity`]). This is the one replay entry
+    /// point: direct [`Cache`]s, [`Hierarchy`]s, [`StackSim`]s and
+    /// custom sinks all go through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink quantizes coarser than this trace was
+    /// captured at (the replay would be lossy).
+    pub fn replay_into<S: AccessSink + ?Sized>(&self, sink: &mut S) {
+        if let Some(g) = sink.granularity() {
             assert_eq!(
-                l.config().line as u64 % self.gran,
+                g % self.gran,
                 0,
-                "granularity {} does not divide the {}-byte line",
+                "granularity {} does not divide the sink's {g}-byte granularity",
                 self.gran,
-                l.config().line
             );
         }
-        if let Some(t) = h.tlb() {
-            assert_eq!(
-                t.config().page as u64 % self.gran,
-                0,
-                "granularity {} does not divide the {}-byte page",
-                self.gran,
-                t.config().page
-            );
-        }
+        shackle_probe::add("memsim.trace_replays", 1);
         // chunked so the per-call dispatch amortizes like the live
         // batched observer path
         let g = self.gran;
@@ -123,36 +122,26 @@ impl CompactTrace {
             for (slot, &id) in buf.iter_mut().zip(chunk) {
                 *slot = id as u64 * g;
             }
-            h.access_many(&buf[..chunk.len()]);
+            sink.push_many(&buf[..chunk.len()]);
         }
+    }
+
+    /// Replay into a [`Hierarchy`].
+    #[deprecated(since = "0.1.0", note = "use the unified `CompactTrace::replay_into`")]
+    pub fn replay(&self, h: &mut Hierarchy) {
+        self.replay_into(h);
     }
 
     /// Replay into a standalone [`Cache`].
+    #[deprecated(since = "0.1.0", note = "use the unified `CompactTrace::replay_into`")]
     pub fn replay_cache(&self, c: &mut Cache) {
-        assert_eq!(
-            c.config().line as u64 % self.gran,
-            0,
-            "granularity {} does not divide the {}-byte line",
-            self.gran,
-            c.config().line
-        );
-        for &id in &self.ids {
-            c.access(id as u64 * self.gran);
-        }
+        self.replay_into(c);
     }
 
     /// Feed the trace through a [`StackSim`] in one pass.
+    #[deprecated(since = "0.1.0", note = "use the unified `CompactTrace::replay_into`")]
     pub fn replay_stack(&self, s: &mut StackSim) {
-        assert_eq!(
-            s.line() as u64 % self.gran,
-            0,
-            "granularity {} does not divide the {}-byte line",
-            self.gran,
-            s.line()
-        );
-        for &id in &self.ids {
-            s.access(id as u64 * self.gran);
-        }
+        self.replay_into(s);
     }
 
     /// Execute `program` once through the compiled engine, capturing
@@ -177,6 +166,28 @@ impl CompactTrace {
     }
 }
 
+/// A trace is itself an [`AccessSink`]: pushing addresses appends them
+/// (quantized) to the stream, so trace producers written against the
+/// unified sink surface can capture as easily as they simulate — and
+/// one trace can be re-captured into another at coarser granularity via
+/// [`CompactTrace::replay_into`].
+impl AccessSink for CompactTrace {
+    fn push(&mut self, addr: u64) {
+        CompactTrace::push(self, addr);
+    }
+
+    fn push_many(&mut self, addrs: &[u64]) {
+        self.ids.reserve(addrs.len());
+        for &a in addrs {
+            CompactTrace::push(self, a);
+        }
+    }
+
+    fn granularity(&self) -> Option<u64> {
+        Some(self.gran)
+    }
+}
+
 /// An [`Observer`] that records translated addresses into a
 /// [`CompactTrace`] instead of simulating them.
 #[derive(Debug)]
@@ -193,11 +204,11 @@ impl<'a> CaptureObserver<'a> {
 }
 
 impl Observer for CaptureObserver<'_> {
-    fn access(&mut self, a: Access<'_>) {
+    fn record(&mut self, a: Access<'_>) {
         self.trace.push(self.map.address(a.array, a.offset));
     }
 
-    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+    fn record_many(&mut self, accesses: &[Access<'_>]) {
         for a in accesses {
             self.trace.push(self.map.address(a.array, a.offset));
         }
@@ -228,9 +239,55 @@ mod tests {
         assert_eq!(trace.len() as u64, live.accesses());
 
         let mut replayed = Hierarchy::sp2_thin_node();
-        trace.replay(&mut replayed);
+        trace.replay_into(&mut replayed);
         assert_eq!(replayed.cycles(), live.cycles());
         assert_eq!(replayed.level_stats(), live.level_stats());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_replay_names_still_forward() {
+        let p = kernels::matmul_ijk();
+        let (_, trace) = CompactTrace::capture(&p, &params(8), |_, _| 1.0);
+        let cfg = CacheConfig {
+            size: 1024,
+            line: 64,
+            assoc: 2,
+            latency: 0,
+        };
+        let (mut old, mut new) = (Cache::new(cfg), Cache::new(cfg));
+        trace.replay_cache(&mut old);
+        trace.replay_into(&mut new);
+        assert_eq!(old.stats(), new.stats());
+        let (mut h_old, mut h_new) = (Hierarchy::sp2_thin_node(), Hierarchy::sp2_thin_node());
+        trace.replay(&mut h_old);
+        trace.replay_into(&mut h_new);
+        assert_eq!(h_old.level_stats(), h_new.level_stats());
+        let (mut s_old, mut s_new) = (StackSim::new(64, &[cfg]), StackSim::new(64, &[cfg]));
+        trace.replay_stack(&mut s_old);
+        trace.replay_into(&mut s_new);
+        assert_eq!(s_old.stats_for(&cfg), s_new.stats_for(&cfg));
+    }
+
+    #[test]
+    fn trace_recaptures_into_a_coarser_trace() {
+        // CompactTrace is itself a sink: replaying into a coarser trace
+        // re-quantizes losslessly for caches at or above that line size
+        let p = kernels::matmul_ijk();
+        let (_, fine) = CompactTrace::capture(&p, &params(8), |_, _| 1.0);
+        let mut coarse = CompactTrace::with_granularity(64);
+        fine.replay_into(&mut coarse);
+        assert_eq!(coarse.len(), fine.len());
+        let cfg = CacheConfig {
+            size: 2048,
+            line: 64,
+            assoc: 2,
+            latency: 0,
+        };
+        let (mut c1, mut c2) = (Cache::new(cfg), Cache::new(cfg));
+        fine.replay_into(&mut c1);
+        coarse.replay_into(&mut c2);
+        assert_eq!(c1.stats(), c2.stats());
     }
 
     #[test]
@@ -256,10 +313,10 @@ mod tests {
             },
         ];
         let mut sim = StackSim::new(64, &configs);
-        trace.replay_stack(&mut sim);
+        trace.replay_into(&mut sim);
         for cfg in &configs {
             let mut c = Cache::new(*cfg);
-            trace.replay_cache(&mut c);
+            trace.replay_into(&mut c);
             assert_eq!(sim.stats_for(cfg), c.stats(), "{cfg:?}");
         }
     }
@@ -283,8 +340,8 @@ mod tests {
                 latency: 0,
             };
             let (mut c1, mut c2) = (Cache::new(cfg), Cache::new(cfg));
-            fine.replay_cache(&mut c1);
-            coarse.replay_cache(&mut c2);
+            fine.replay_into(&mut c1);
+            coarse.replay_into(&mut c2);
             assert_eq!(c1.stats(), c2.stats(), "line {line}");
         }
     }
@@ -300,7 +357,7 @@ mod tests {
             assoc: 2,
             latency: 0,
         });
-        t.replay_cache(&mut c);
+        t.replay_into(&mut c);
     }
 
     #[test]

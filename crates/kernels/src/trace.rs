@@ -7,7 +7,7 @@
 
 use shackle_exec::{Access, Observer};
 use shackle_ir::Program;
-use shackle_memsim::Hierarchy;
+use shackle_memsim::{AccessSink, Hierarchy};
 use std::collections::BTreeMap;
 
 /// Element size in bytes (`f64`).
@@ -90,16 +90,16 @@ impl<'a> MemObserver<'a> {
 }
 
 impl Observer for MemObserver<'_> {
-    fn access(&mut self, a: Access<'_>) {
+    fn record(&mut self, a: Access<'_>) {
         let addr = self.map.address(a.array, a.offset);
         self.hierarchy.access(addr);
     }
 
-    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+    fn record_many(&mut self, accesses: &[Access<'_>]) {
         self.addrs.clear();
         self.addrs
             .extend(accesses.iter().map(|a| self.map.address(a.array, a.offset)));
-        self.hierarchy.access_many(&self.addrs);
+        self.hierarchy.push_many(&self.addrs);
     }
 }
 
@@ -153,18 +153,18 @@ impl<'a> BandObserver<'a> {
 }
 
 impl Observer for BandObserver<'_> {
-    fn access(&mut self, a: Access<'_>) {
+    fn record(&mut self, a: Access<'_>) {
         let addr = self.band_address(&a);
         self.hierarchy.access(addr);
     }
 
-    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+    fn record_many(&mut self, accesses: &[Access<'_>]) {
         self.addrs.clear();
         for a in accesses {
             let addr = self.band_address(a);
             self.addrs.push(addr);
         }
-        self.hierarchy.access_many(&self.addrs);
+        self.hierarchy.push_many(&self.addrs);
     }
 }
 
@@ -226,7 +226,7 @@ pub fn block_major_address(n: usize, b: usize, i: usize, j: usize) -> u64 {
 }
 
 impl Observer for BlockMajorObserver<'_> {
-    fn access(&mut self, a: Access<'_>) {
+    fn record(&mut self, a: Access<'_>) {
         let addr = if a.array == self.array {
             let i = a.offset % self.n;
             let j = a.offset / self.n;
@@ -237,7 +237,7 @@ impl Observer for BlockMajorObserver<'_> {
         self.hierarchy.access(addr);
     }
 
-    fn access_batch(&mut self, accesses: &[Access<'_>]) {
+    fn record_many(&mut self, accesses: &[Access<'_>]) {
         self.addrs.clear();
         for a in accesses {
             let addr = if a.array == self.array {
@@ -249,7 +249,7 @@ impl Observer for BlockMajorObserver<'_> {
             };
             self.addrs.push(addr);
         }
-        self.hierarchy.access_many(&self.addrs);
+        self.hierarchy.push_many(&self.addrs);
     }
 }
 
@@ -258,7 +258,7 @@ impl Observer for BlockMajorObserver<'_> {
 /// the hierarchy). Convenience for the figure harnesses.
 ///
 /// Accesses stream through the batched observer path
-/// ([`Observer::access_batch`] → [`Hierarchy::access_many`]), which is
+/// ([`Observer::record_many`] → [`AccessSink::push_many`]), which is
 /// behaviorally identical to per-element delivery.
 pub fn trace_execution(
     program: &Program,
@@ -309,8 +309,8 @@ mod tests {
 
     #[test]
     fn batched_delivery_matches_per_element_delivery() {
-        // feed the same trace once through Observer::access and once
-        // through access_batch/access_many: the hierarchy must end up
+        // feed the same trace once through Observer::record and once
+        // through record_many/push_many: the hierarchy must end up
         // with identical cycles and per-level stats
         let p = kernels::matmul_ijk();
         let params = params(10);
@@ -323,10 +323,10 @@ mod tests {
             use shackle_exec::Observer;
             struct PerElement<'a, 'b>(&'a mut MemObserver<'b>);
             impl Observer for PerElement<'_, '_> {
-                fn access(&mut self, a: shackle_exec::Access<'_>) {
-                    self.0.access(a);
+                fn record(&mut self, a: shackle_exec::Access<'_>) {
+                    self.0.record(a);
                 }
-                // no access_batch override: every access goes through
+                // no record_many override: every access goes through
                 // the per-element path
             }
             shackle_exec::execute_compiled(&p, &mut ws, &params, &mut PerElement(&mut obs));
@@ -369,7 +369,7 @@ mod tests {
         let mut obs = BandObserver::new("A", 10, 2, &mut h);
         use shackle_exec::Observer;
         // dense offset of (8, 1) 0-based: i=8, j=1, |i-j| = 7 > 2
-        obs.access(shackle_exec::Access {
+        obs.record(shackle_exec::Access {
             array: "A",
             offset: 8 + 10,
             write: false,

@@ -14,6 +14,77 @@
 
 use std::fmt;
 
+/// A rejected [`CacheConfig`] or [`crate::TlbConfig`] geometry.
+///
+/// Returned by the fallible constructors ([`CacheConfig::validate`],
+/// [`Cache::try_new`], [`crate::Tlb::try_new`]); the panicking `new`
+/// wrappers raise the same message via [`fmt::Display`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Line size is zero or not a power of two.
+    LineNotPowerOfTwo {
+        /// The offending line size in bytes.
+        line: usize,
+    },
+    /// Associativity is zero.
+    ZeroAssociativity,
+    /// Capacity is zero.
+    ZeroSize,
+    /// Capacity is not a whole number of lines.
+    SizeNotLineMultiple {
+        /// Capacity in bytes.
+        size: usize,
+        /// Line size in bytes.
+        line: usize,
+    },
+    /// Line count is not a whole number of sets.
+    SizeNotSetMultiple {
+        /// Capacity in bytes.
+        size: usize,
+        /// Line size in bytes.
+        line: usize,
+        /// Associativity.
+        assoc: usize,
+    },
+    /// TLB page size is zero or not a power of two.
+    PageNotPowerOfTwo {
+        /// The offending page size in bytes.
+        page: usize,
+    },
+    /// TLB has no entries.
+    NoTlbEntries,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::LineNotPowerOfTwo { line } => {
+                write!(f, "line size {line} must be a non-zero power of two")
+            }
+            ConfigError::ZeroAssociativity => {
+                write!(f, "associativity must be at least 1")
+            }
+            ConfigError::ZeroSize => write!(f, "cache size must be positive"),
+            ConfigError::SizeNotLineMultiple { size, line } => {
+                write!(f, "cache size {size} not divisible into {line}-byte lines")
+            }
+            ConfigError::SizeNotSetMultiple { size, line, assoc } => {
+                write!(
+                    f,
+                    "cache size {size} not divisible into {assoc}-way sets of {line}-byte lines"
+                )
+            }
+            ConfigError::PageNotPowerOfTwo { .. } => {
+                write!(f, "page size must be a power of two")
+            }
+            ConfigError::NoTlbEntries => write!(f, "TLB needs at least one entry"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Geometry and cost of one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -28,42 +99,36 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
-    /// Validate the geometry, panicking with a description of the first
-    /// inconsistency found.
-    ///
-    /// # Panics
-    ///
-    /// Panics if
-    /// * `line` is zero or not a power of two,
-    /// * `assoc == 0`,
-    /// * `size` is zero or not divisible by `line * assoc` (so the set
-    ///   count would be zero or fractional).
-    pub fn validate(&self) {
-        assert!(
-            self.line.is_power_of_two(),
-            "line size {} must be a non-zero power of two",
-            self.line
-        );
-        assert!(self.assoc >= 1, "associativity must be at least 1");
-        assert!(self.size > 0, "cache size must be positive");
-        assert_eq!(
-            self.size % self.line,
-            0,
-            "cache size {} not divisible into {}-byte lines",
-            self.size,
-            self.line
-        );
-        let lines = self.size / self.line;
-        assert_eq!(
-            lines % self.assoc,
-            0,
-            "cache size {} not divisible into {}-way sets of {}-byte lines",
-            self.size,
-            self.assoc,
-            self.line
-        );
+    /// Validate the geometry, reporting the first inconsistency found:
+    /// `line` zero or not a power of two, `assoc == 0`, or `size` zero
+    /// or not divisible by `line * assoc` (which would make the set
+    /// count zero or fractional).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.line.is_power_of_two() {
+            return Err(ConfigError::LineNotPowerOfTwo { line: self.line });
+        }
+        if self.assoc < 1 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
+        if self.size == 0 {
+            return Err(ConfigError::ZeroSize);
+        }
+        if !self.size.is_multiple_of(self.line) {
+            return Err(ConfigError::SizeNotLineMultiple {
+                size: self.size,
+                line: self.line,
+            });
+        }
+        if !(self.size / self.line).is_multiple_of(self.assoc) {
+            return Err(ConfigError::SizeNotSetMultiple {
+                size: self.size,
+                line: self.line,
+                assoc: self.assoc,
+            });
+        }
         // note: `size > 0` plus both divisibility checks imply
         // `lines / assoc >= 1`, so the set count is always positive here
+        Ok(())
     }
 
     /// Number of sets.
@@ -73,7 +138,7 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (see
     /// [`CacheConfig::validate`]).
     pub fn sets(&self) -> usize {
-        self.validate();
+        self.validate().unwrap_or_else(|e| panic!("{e}"));
         self.size / self.line / self.assoc
     }
 }
@@ -133,18 +198,14 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Build an empty cache.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent (zero or
-    /// non-power-of-two `line`, `assoc == 0`, or `size` not divisible
-    /// by `line * assoc`) — see [`CacheConfig::validate`].
-    pub fn new(config: CacheConfig) -> Self {
-        config.validate();
-        let sets = config.sets();
+    /// Build an empty cache, rejecting inconsistent geometries (zero
+    /// or non-power-of-two `line`, `assoc == 0`, or `size` not
+    /// divisible by `line * assoc`) — see [`CacheConfig::validate`].
+    pub fn try_new(config: CacheConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let sets = config.size / config.line / config.assoc;
         let slots = sets * config.assoc;
-        Self {
+        Ok(Self {
             config,
             sets,
             set_mask: sets as u64 - 1,
@@ -153,7 +214,20 @@ impl Cache {
             stamps: vec![0; slots].into_boxed_slice(),
             tick: 1,
             stats: LevelStats::default(),
-        }
+        })
+    }
+
+    /// Build an empty cache.
+    ///
+    /// Thin wrapper over [`Cache::try_new`] for the common
+    /// statically-known-valid case.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if the configuration is
+    /// inconsistent.
+    pub fn new(config: CacheConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configuration.
@@ -396,5 +470,100 @@ mod tests {
         c.access(0);
         c.clear();
         assert!(!c.access(0), "cleared cache must cold-miss");
+    }
+
+    fn reject(size: usize, line: usize, assoc: usize) -> ConfigError {
+        let config = CacheConfig {
+            size,
+            line,
+            assoc,
+            latency: 1,
+        };
+        let err = config.validate().expect_err("geometry must be rejected");
+        // try_new reports the identical error
+        assert_eq!(Cache::try_new(config).expect_err("same rejection"), err);
+        err
+    }
+
+    #[test]
+    fn try_new_rejects_each_inconsistency() {
+        assert_eq!(reject(64, 0, 2), ConfigError::LineNotPowerOfTwo { line: 0 });
+        assert_eq!(
+            reject(96, 24, 2),
+            ConfigError::LineNotPowerOfTwo { line: 24 }
+        );
+        assert_eq!(reject(64, 16, 0), ConfigError::ZeroAssociativity);
+        assert_eq!(reject(0, 16, 2), ConfigError::ZeroSize);
+        assert_eq!(
+            reject(100, 16, 2),
+            ConfigError::SizeNotLineMultiple {
+                size: 100,
+                line: 16
+            }
+        );
+        assert_eq!(
+            reject(16, 16, 2),
+            ConfigError::SizeNotSetMultiple {
+                size: 16,
+                line: 16,
+                assoc: 2
+            }
+        );
+    }
+
+    #[test]
+    fn try_new_accepts_valid_geometry() {
+        let config = CacheConfig {
+            size: 64,
+            line: 16,
+            assoc: 2,
+            latency: 1,
+        };
+        assert_eq!(config.validate(), Ok(()));
+        let mut c = Cache::try_new(config).expect("valid geometry");
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn config_error_messages_match_the_panics() {
+        // the panicking wrappers raise these exact strings; pin them so
+        // downstream `should_panic(expected = ...)` tests stay honest
+        assert_eq!(
+            ConfigError::LineNotPowerOfTwo { line: 24 }.to_string(),
+            "line size 24 must be a non-zero power of two"
+        );
+        assert_eq!(
+            ConfigError::ZeroAssociativity.to_string(),
+            "associativity must be at least 1"
+        );
+        assert_eq!(
+            ConfigError::ZeroSize.to_string(),
+            "cache size must be positive"
+        );
+        assert_eq!(
+            ConfigError::SizeNotLineMultiple {
+                size: 100,
+                line: 16
+            }
+            .to_string(),
+            "cache size 100 not divisible into 16-byte lines"
+        );
+        assert_eq!(
+            ConfigError::SizeNotSetMultiple {
+                size: 16,
+                line: 16,
+                assoc: 2
+            }
+            .to_string(),
+            "cache size 16 not divisible into 2-way sets of 16-byte lines"
+        );
+        assert_eq!(
+            ConfigError::PageNotPowerOfTwo { page: 100 }.to_string(),
+            "page size must be a power of two"
+        );
+        assert_eq!(
+            ConfigError::NoTlbEntries.to_string(),
+            "TLB needs at least one entry"
+        );
     }
 }

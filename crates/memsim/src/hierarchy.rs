@@ -126,13 +126,13 @@ impl Hierarchy {
     }
 
     /// Touch a batch of byte addresses in order. Equivalent to calling
-    /// [`Hierarchy::access`] per address (identical stats and cycles),
-    /// but amortizes the call overhead for streamed traces — the
-    /// compiled execution engine delivers its access buffer here.
+    /// [`Hierarchy::access`] per address (identical stats and cycles).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified access surface: `AccessSink::push_many`"
+    )]
     pub fn access_many(&mut self, addrs: &[u64]) {
-        for &a in addrs {
-            self.access(a);
-        }
+        crate::AccessSink::push_many(self, addrs);
     }
 
     /// Per-level statistics, fastest first.

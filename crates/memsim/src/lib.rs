@@ -20,9 +20,12 @@
 //!   counts for *every* power-of-two-set configuration of a line size
 //!   at once — the engine behind multi-configuration sweeps.
 //!
-//! The crate is deliberately address-based and dependency-free; the
-//! adapter that turns interpreter accesses into addresses lives in
-//! `shackle-kernels`.
+//! Every consumer of an address stream — both engines, the TLB, whole
+//! hierarchies — implements the unified [`AccessSink`] trait, so trace
+//! producers are written once and replay anywhere. The crate is
+//! deliberately address-based and depends only on the std-only
+//! `shackle-probe` instrumentation layer; the adapter that turns
+//! interpreter accesses into addresses lives in `shackle-kernels`.
 //!
 //! # Example
 //!
@@ -46,10 +49,12 @@
 
 mod cache;
 mod hierarchy;
+mod sink;
 mod stack;
 mod tlb;
 
-pub use cache::{Cache, CacheConfig, LevelStats};
+pub use cache::{Cache, CacheConfig, ConfigError, LevelStats};
 pub use hierarchy::{Hierarchy, PerfModel};
+pub use sink::AccessSink;
 pub use stack::{direct_sweep, stack_sweep, StackSim};
 pub use tlb::{Tlb, TlbConfig};

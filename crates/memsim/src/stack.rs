@@ -54,15 +54,17 @@
 //! }
 //! ```
 
-use crate::{Cache, CacheConfig, LevelStats};
+use crate::{AccessSink, Cache, CacheConfig, LevelStats};
+use shackle_probe as probe;
 
 /// One-pass exact LRU simulation of a whole family of cache
 /// configurations sharing a line size.
 ///
-/// Feed the trace through [`StackSim::access`] /
-/// [`StackSim::access_many`], then query [`StackSim::stats_for`] for any
-/// covered configuration — the counts are bit-identical to replaying the
-/// same trace through a direct [`Cache`] of that configuration.
+/// Feed the trace through [`StackSim::access`] or the unified
+/// [`crate::AccessSink`] surface, then query [`StackSim::stats_for`]
+/// for any covered configuration — the counts are bit-identical to
+/// replaying the same trace through a direct [`Cache`] of that
+/// configuration.
 #[derive(Clone, Debug)]
 pub struct StackSim {
     /// Line size in bytes (power of two).
@@ -105,7 +107,7 @@ impl StackSim {
         let mut kmax = 0u32;
         let mut max_assoc = 0usize;
         for c in configs {
-            c.validate();
+            c.validate().unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(c.line, line, "all configurations must share the line size");
             let sets = c.sets();
             assert!(
@@ -181,10 +183,12 @@ impl StackSim {
 
     /// Record a batch of byte addresses in order (identical to calling
     /// [`StackSim::access`] per element).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified access surface: `AccessSink::push_many`"
+    )]
     pub fn access_many(&mut self, addrs: &[u64]) {
-        for &a in addrs {
-            self.access(a);
-        }
+        crate::AccessSink::push_many(self, addrs);
     }
 
     /// Whether `config` is covered by this engine: same line size,
@@ -267,8 +271,9 @@ pub fn stack_sweep(addrs: &[u64], configs: &[CacheConfig]) -> Vec<LevelStats> {
         .first()
         .expect("need at least one configuration")
         .line;
+    probe::add("memsim.stack_passes", 1);
     let mut sim = StackSim::new(line, configs);
-    sim.access_many(addrs);
+    sim.push_many(addrs);
     configs.iter().map(|c| sim.stats_for(c)).collect()
 }
 
@@ -310,7 +315,7 @@ mod tests {
         let configs = [cfg(128, 32, 2), cfg(512, 32, 4)];
         let addrs: Vec<u64> = (0..200u64).map(|i| (i * 7919) % 2048).collect();
         let mut sim = StackSim::new(32, &configs);
-        sim.access_many(&addrs);
+        sim.push_many(&addrs);
         assert_eq!(sim.total(), 200);
         for c in &configs {
             let s = sim.stats_for(c);
@@ -335,7 +340,7 @@ mod tests {
     fn clear_resets() {
         let configs = [cfg(64, 16, 2)];
         let mut sim = StackSim::new(16, &configs);
-        sim.access_many(&[0, 16, 0]);
+        sim.push_many(&[0, 16, 0]);
         sim.clear();
         assert_eq!(sim.total(), 0);
         assert_eq!(sim.stats_for(&configs[0]), LevelStats::default());

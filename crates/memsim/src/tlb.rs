@@ -6,6 +6,7 @@
 //! calibrated figures in EXPERIMENTS.md document the consequence); a
 //! [`Tlb`] can be attached to a [`crate::Hierarchy`] to study it.
 
+use crate::ConfigError;
 use std::fmt;
 
 /// TLB geometry and miss cost.
@@ -27,6 +28,19 @@ impl TlbConfig {
             entries: 128,
             miss_penalty: 30,
         }
+    }
+
+    /// Validate the geometry, reporting the first inconsistency found:
+    /// `page` zero or not a power of two, or `entries == 0`. The
+    /// translation analogue of [`crate::CacheConfig::validate`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.page.is_power_of_two() {
+            return Err(ConfigError::PageNotPowerOfTwo { page: self.page });
+        }
+        if self.entries == 0 {
+            return Err(ConfigError::NoTlbEntries);
+        }
+        Ok(())
     }
 }
 
@@ -57,25 +71,31 @@ pub struct Tlb {
 }
 
 impl Tlb {
-    /// Build an empty TLB.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the page size is not a power of two or `entries == 0`.
-    pub fn new(config: TlbConfig) -> Self {
-        assert!(
-            config.page.is_power_of_two(),
-            "page size must be a power of two"
-        );
-        assert!(config.entries > 0, "TLB needs at least one entry");
-        Self {
+    /// Build an empty TLB, rejecting inconsistent geometries (page
+    /// size not a power of two, or no entries) — see
+    /// [`TlbConfig::validate`].
+    pub fn try_new(config: TlbConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self {
             config,
             pages: vec![0; config.entries].into_boxed_slice(),
             stamps: vec![0; config.entries].into_boxed_slice(),
             tick: 1,
             hits: 0,
             misses: 0,
-        }
+        })
+    }
+
+    /// Build an empty TLB.
+    ///
+    /// Thin wrapper over [`Tlb::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if the page size is not
+    /// a power of two or `entries == 0`.
+    pub fn new(config: TlbConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configuration.
@@ -179,5 +199,57 @@ mod tests {
         t.clear();
         assert_eq!(t.misses(), 0);
         assert!(!t.access(0));
+    }
+
+    #[test]
+    fn try_new_rejects_each_inconsistency() {
+        let bad_page = TlbConfig {
+            page: 100,
+            entries: 4,
+            miss_penalty: 30,
+        };
+        assert_eq!(
+            Tlb::try_new(bad_page).expect_err("non-power-of-two page"),
+            ConfigError::PageNotPowerOfTwo { page: 100 }
+        );
+        let zero_page = TlbConfig {
+            page: 0,
+            entries: 4,
+            miss_penalty: 30,
+        };
+        assert_eq!(
+            Tlb::try_new(zero_page).expect_err("zero page"),
+            ConfigError::PageNotPowerOfTwo { page: 0 }
+        );
+        let no_entries = TlbConfig {
+            page: 4096,
+            entries: 0,
+            miss_penalty: 30,
+        };
+        assert_eq!(
+            Tlb::try_new(no_entries).expect_err("no entries"),
+            ConfigError::NoTlbEntries
+        );
+        assert!(Tlb::try_new(TlbConfig::power2_like()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn new_panics_on_bad_page() {
+        let _ = Tlb::new(TlbConfig {
+            page: 100,
+            entries: 4,
+            miss_penalty: 30,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn new_panics_on_no_entries() {
+        let _ = Tlb::new(TlbConfig {
+            page: 4096,
+            entries: 0,
+            miss_penalty: 30,
+        });
     }
 }

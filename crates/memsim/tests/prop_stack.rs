@@ -3,7 +3,7 @@
 //! simulator for random traces across random configuration families.
 
 use proptest::prelude::*;
-use shackle_memsim::{direct_sweep, stack_sweep, Cache, CacheConfig, StackSim};
+use shackle_memsim::{direct_sweep, stack_sweep, AccessSink, Cache, CacheConfig, StackSim};
 
 fn trace() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0u64..16384, 1..500)
@@ -76,7 +76,7 @@ proptest! {
     #[test]
     fn totals_conserved((line, cfgs) in config_family(), addrs in trace()) {
         let mut sim = StackSim::new(line, &cfgs);
-        sim.access_many(&addrs);
+        sim.push_many(&addrs);
         prop_assert_eq!(sim.total(), addrs.len() as u64);
         for c in &cfgs {
             let s = sim.stats_for(c);
@@ -109,11 +109,11 @@ proptest! {
     #[test]
     fn clear_is_fresh((line, cfgs) in config_family(), addrs in trace()) {
         let mut sim = StackSim::new(line, &cfgs);
-        sim.access_many(&addrs);
+        sim.push_many(&addrs);
         sim.clear();
-        sim.access_many(&addrs);
+        sim.push_many(&addrs);
         let mut fresh = StackSim::new(line, &cfgs);
-        fresh.access_many(&addrs);
+        fresh.push_many(&addrs);
         for c in &cfgs {
             prop_assert_eq!(sim.stats_for(c), fresh.stats_for(c));
         }

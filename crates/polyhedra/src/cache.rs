@@ -179,6 +179,38 @@ pub fn stats() -> PolyStats {
     }
 }
 
+/// Fold the current [`PolyStats`] snapshot into the probe counters
+/// (`poly.feasibility_queries`, `poly.feasibility_hits`,
+/// `poly.projection_queries`, `poly.projection_hits`,
+/// `poly.gist_queries`, `poly.gist_hits`, `poly.splinters`,
+/// `poly.dark_shadow_fallbacks`, `poly.fm_rows_combined`,
+/// `poly.fm_rows_pruned`).
+///
+/// The counters are *set* (not added), so repeated publishes are
+/// idempotent: each probe counter mirrors the cumulative PolyStats
+/// value since the last [`reset_stats`]. No-op when instrumentation is
+/// disabled.
+pub fn publish_stats() {
+    if !shackle_probe::enabled() {
+        return;
+    }
+    let s = stats();
+    for (name, v) in [
+        ("poly.feasibility_queries", s.feasibility_queries),
+        ("poly.feasibility_hits", s.feasibility_hits),
+        ("poly.projection_queries", s.projection_queries),
+        ("poly.projection_hits", s.projection_hits),
+        ("poly.gist_queries", s.gist_queries),
+        ("poly.gist_hits", s.gist_hits),
+        ("poly.splinters", s.splinters),
+        ("poly.dark_shadow_fallbacks", s.dark_shadow_fallbacks),
+        ("poly.fm_rows_combined", s.fm_rows_combined),
+        ("poly.fm_rows_pruned", s.fm_rows_pruned),
+    ] {
+        shackle_probe::counter(name).set(v);
+    }
+}
+
 /// Zero all counters (the caches are left intact; see [`clear_cache`]).
 pub fn reset_stats() {
     for c in [
@@ -407,6 +439,7 @@ pub(crate) fn feasible(sys: &System) -> bool {
     }
     FEAS_QUERIES.fetch_add(1, Ordering::Relaxed);
     if !cache_enabled() {
+        let _phase = shackle_probe::span("omega");
         return omega::is_integer_feasible(sys);
     }
     let key = feasibility_key(sys);
@@ -414,6 +447,7 @@ pub(crate) fn feasible(sys: &System) -> bool {
         FEAS_HITS.fetch_add(1, Ordering::Relaxed);
         return v;
     }
+    let _phase = shackle_probe::span("omega");
     let v = omega::is_integer_feasible(sys);
     insert(&FEASIBILITY, key, v);
     v
@@ -424,6 +458,7 @@ pub(crate) fn feasible(sys: &System) -> bool {
 pub(crate) fn project(sys: &System, keep: &[&str]) -> (System, bool) {
     PROJ_QUERIES.fetch_add(1, Ordering::Relaxed);
     if !cache_enabled() {
+        let _phase = shackle_probe::span("fm");
         return fm::project_onto(sys, keep);
     }
     let key = projection_key(sys, keep);
@@ -431,6 +466,7 @@ pub(crate) fn project(sys: &System, keep: &[&str]) -> (System, bool) {
         PROJ_HITS.fetch_add(1, Ordering::Relaxed);
         return v;
     }
+    let _phase = shackle_probe::span("fm");
     let v = fm::project_onto(sys, keep);
     insert(&PROJECTION, key, v.clone());
     v
@@ -443,6 +479,7 @@ pub(crate) fn project(sys: &System, keep: &[&str]) -> (System, bool) {
 pub(crate) fn gist(sys: &System, context: &System) -> System {
     GIST_QUERIES.fetch_add(1, Ordering::Relaxed);
     if !cache_enabled() {
+        let _phase = shackle_probe::span("gist");
         return crate::simplify::gist(sys, context);
     }
     let key = gist_key(sys, context);
@@ -450,6 +487,7 @@ pub(crate) fn gist(sys: &System, context: &System) -> System {
         GIST_HITS.fetch_add(1, Ordering::Relaxed);
         return v;
     }
+    let _phase = shackle_probe::span("gist");
     let v = crate::simplify::gist(sys, context);
     insert(&GIST, key, v.clone());
     v

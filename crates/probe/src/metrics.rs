@@ -1,0 +1,166 @@
+//! Named atomic counters and log2-bucketed histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
+
+/// A monotonic `u64` metric cell. Handles are `&'static`: register
+/// once with [`counter`] and update with relaxed atomics thereafter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the counter (for gauge-style values such as cache
+    /// sizes folded in from external snapshots).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` values with 65 log2 buckets: bucket 0 holds
+/// the value 0 and bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. Recording is one relaxed `fetch_add`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Lower bound of bucket `i` (0, then successive powers of two).
+    fn bucket_floor(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Record one observation of `value`.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Non-empty buckets as `(lower bound, count)`, ascending.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then(|| (Self::bucket_floor(i), count))
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+static COUNTERS: LazyLock<Mutex<BTreeMap<&'static str, &'static Counter>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+static HISTOGRAMS: LazyLock<Mutex<BTreeMap<&'static str, &'static Histogram>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+/// Look up (registering on first use) the counter named `name`. The
+/// returned handle is valid for the process lifetime; hot paths
+/// should cache it in a `LazyLock` rather than re-resolving the name.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut table = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    table
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+}
+
+/// Add `n` to the counter named `name` if instrumentation is enabled;
+/// a single relaxed load otherwise.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    if crate::enabled() {
+        counter(name).add(n);
+    }
+}
+
+/// Look up (registering on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut table = HISTOGRAMS.lock().unwrap_or_else(|e| e.into_inner());
+    table
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// Record `value` in the histogram named `name` if instrumentation is
+/// enabled; a single relaxed load otherwise.
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    if crate::enabled() {
+        histogram(name).observe(value);
+    }
+}
+
+pub(crate) fn reset_metrics() {
+    for c in COUNTERS.lock().unwrap_or_else(|e| e.into_inner()).values() {
+        c.set(0);
+    }
+    for h in HISTOGRAMS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        h.reset();
+    }
+}
+
+pub(crate) fn snapshot_counters() -> Vec<(String, u64)> {
+    COUNTERS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(name, c)| (name.to_string(), c.get()))
+        .collect()
+}
+
+pub(crate) fn snapshot_histograms() -> Vec<crate::report::ProfileHistogram> {
+    HISTOGRAMS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(name, h)| crate::report::ProfileHistogram {
+            name: name.to_string(),
+            total: h.total(),
+            buckets: h.snapshot(),
+        })
+        .collect()
+}

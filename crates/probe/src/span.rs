@@ -1,0 +1,110 @@
+//! Nestable phase spans with per-thread stacks and a global table.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{LazyLock, Mutex};
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulated statistics for one span path.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SpanStat {
+    pub calls: u64,
+    pub nanos: u128,
+}
+
+/// Global span table keyed by full path (the stack of enclosing span
+/// names). Keyed by components, not a joined string, so the report
+/// can sort parents before children without re-parsing.
+pub(crate) static SPANS: LazyLock<Mutex<BTreeMap<Vec<&'static str>, SpanStat>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+pub(crate) fn reset_spans() {
+    SPANS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// RAII guard for one phase span; see [`span`].
+///
+/// Spans must be dropped in LIFO order on the thread that created
+/// them (the natural behaviour of holding them in local scopes).
+#[must_use = "a span measures the scope it is held in"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+/// Open a phase span named `name`, pushing it on the current thread's
+/// span stack. Dropping the returned guard pops the stack and merges
+/// the elapsed wall time into the global table under the full path.
+///
+/// When instrumentation is disabled this returns an inert guard
+/// without touching the clock or the stack.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { start: None };
+    }
+    STACK.with_borrow_mut(|s| s.push(name));
+    Span {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        // A span that pushed must pop even if the flag flipped off
+        // mid-flight, so the stack stays balanced.
+        let Some(start) = self.start else { return };
+        let nanos = start.elapsed().as_nanos();
+        let path = STACK.with_borrow_mut(|s| {
+            let path = s.clone();
+            s.pop();
+            path
+        });
+        if path.is_empty() {
+            return;
+        }
+        let mut spans = SPANS.lock().unwrap_or_else(|e| e.into_inner());
+        let stat = spans.entry(path).or_default();
+        stat.calls += 1;
+        stat.nanos += nanos;
+    }
+}
+
+/// The current thread's span path, outermost first. Empty when
+/// instrumentation is disabled. Capture this before fanning work out
+/// to `par` workers and hand it to [`with_path`] inside each worker
+/// so their spans nest under the spawning phase.
+pub fn current_path() -> Vec<&'static str> {
+    if !crate::enabled() {
+        return Vec::new();
+    }
+    STACK.with_borrow(|s| s.clone())
+}
+
+/// Guard restoring the thread's previous span stack; see
+/// [`with_path`].
+#[must_use = "dropping the guard restores the previous span path"]
+pub struct PathGuard {
+    saved: Vec<&'static str>,
+}
+
+/// Replace the current thread's span stack with `path` until the
+/// returned guard drops (which restores the previous stack). Used by
+/// `shackle_core::par` so worker threads inherit the spawning
+/// thread's phase context. Cheap no-op composition when disabled:
+/// `current_path()` returns empty and adopting an empty path leaves
+/// spans inert.
+pub fn with_path(path: Vec<&'static str>) -> PathGuard {
+    let saved = STACK.with_borrow_mut(|s| std::mem::replace(s, path));
+    PathGuard { saved }
+}
+
+impl Drop for PathGuard {
+    fn drop(&mut self) {
+        let saved = std::mem::take(&mut self.saved);
+        STACK.with_borrow_mut(|s| *s = saved);
+    }
+}

@@ -18,6 +18,10 @@
 //! | [`exec`] | `shackle-exec` | interpreter, equivalence harness |
 //! | [`memsim`] | `shackle-memsim` | cache hierarchies, MFLOPS model |
 //! | [`kernels`] | `shackle-kernels` | native kernels, BLAS substrate, canonical shackles |
+//! | [`probe`] | `shackle-probe` | structured instrumentation: phase spans, counters, histograms |
+//!
+//! [`prelude`] flattens the common surface of all of them into one
+//! `use data_shackle::prelude::*;`.
 //!
 //! # Quick start
 //!
@@ -58,3 +62,36 @@ pub use shackle_ir as ir;
 pub use shackle_kernels as kernels;
 pub use shackle_memsim as memsim;
 pub use shackle_polyhedra as polyhedra;
+pub use shackle_probe as probe;
+
+pub mod prelude {
+    //! One-stop imports for driving the whole pipeline.
+    //!
+    //! Flattens [`shackle_core::prelude`] (IR construction, dependences,
+    //! legality, search, codegen) together with the execution engines,
+    //! the trace capture bridge, the memory-hierarchy simulators and the
+    //! probe instrumentation:
+    //!
+    //! ```
+    //! use data_shackle::prelude::*;
+    //!
+    //! let program = kernels::matmul_ijk();
+    //! let shackle = Shackle::on_writes(&program, Blocking::square("C", 2, &[0, 1], 25));
+    //! assert!(check_legality(&program, &[shackle]).is_legal());
+    //! ```
+
+    pub use shackle_core::prelude::*;
+
+    pub use shackle_exec::{
+        compile, execute, execute_compiled, verify, Access, CompiledProgram, ExecStats,
+        NullObserver, Observer, Workspace,
+    };
+    pub use shackle_kernels::compact::{CaptureObserver, CompactTrace};
+    pub use shackle_kernels::trace::{trace_execution, AddressMap, MemObserver, ELEM_BYTES};
+    pub use shackle_kernels::{gen, shackles, traced};
+    pub use shackle_memsim::{
+        AccessSink, Cache, CacheConfig, ConfigError, Hierarchy, LevelStats, PerfModel, StackSim,
+        Tlb, TlbConfig,
+    };
+    pub use shackle_probe as probe;
+}
