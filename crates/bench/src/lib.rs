@@ -534,14 +534,17 @@ mod tests {
 
     #[test]
     fn figure_sweep_is_byte_identical_serial_vs_parallel() {
-        // SHACKLE_THREADS steers par::thread_count; other tests only
-        // become serial if they observe the temporary value, which does
-        // not change their results
-        std::env::set_var("SHACKLE_THREADS", "1");
-        let serial = render_table("f11", "n", &figure11(&[16, 24, 32], 8));
-        std::env::set_var("SHACKLE_THREADS", "4");
-        let parallel = render_table("f11", "n", &figure11(&[16, 24, 32], 8));
-        std::env::remove_var("SHACKLE_THREADS");
+        // par::with_threads serializes every SHACKLE_THREADS override
+        // process-wide, so concurrent tests cannot race this one's
+        // temporary values.
+        let serial = {
+            let _t = par::with_threads(1);
+            render_table("f11", "n", &figure11(&[16, 24, 32], 8))
+        };
+        let parallel = {
+            let _t = par::with_threads(4);
+            render_table("f11", "n", &figure11(&[16, 24, 32], 8))
+        };
         assert_eq!(serial, parallel);
     }
 

@@ -186,21 +186,24 @@ mod tests {
                 (format!("w{}", 4 + 4 * w), b)
             })
             .collect();
-        std::env::set_var("SHACKLE_THREADS", "1");
-        let serial = render_sweep(
-            "t",
-            "width",
-            &grid,
-            &sweep_programs(&points, &params, |_, _| 1.0, &grid),
-        );
-        std::env::set_var("SHACKLE_THREADS", "4");
-        let parallel = render_sweep(
-            "t",
-            "width",
-            &grid,
-            &sweep_programs(&points, &params, |_, _| 1.0, &grid),
-        );
-        std::env::remove_var("SHACKLE_THREADS");
+        let serial = {
+            let _t = shackle_core::par::with_threads(1);
+            render_sweep(
+                "t",
+                "width",
+                &grid,
+                &sweep_programs(&points, &params, |_, _| 1.0, &grid),
+            )
+        };
+        let parallel = {
+            let _t = shackle_core::par::with_threads(4);
+            render_sweep(
+                "t",
+                "width",
+                &grid,
+                &sweep_programs(&points, &params, |_, _| 1.0, &grid),
+            )
+        };
         assert_eq!(serial, parallel);
     }
 }

@@ -14,8 +14,10 @@ type Fingerprint = (
     Vec<probe::ProfileHistogram>,
 );
 
-fn run_sweep(threads: &str) -> Fingerprint {
-    std::env::set_var("SHACKLE_THREADS", threads);
+fn run_sweep(threads: usize) -> Fingerprint {
+    // with_threads serializes the process-global override and restores
+    // the previous value when the guard drops
+    let _t = shackle_core::par::with_threads(threads);
     // cold polyhedral cache each run, so the serial codegen inside the
     // sweep does identical omega/FM work regardless of run order
     shackle_polyhedra::cache::clear_cache();
@@ -23,7 +25,6 @@ fn run_sweep(threads: &str) -> Fingerprint {
     probe::set_enabled(true);
     let series = figure11(&[16, 24, 32], 8);
     probe::set_enabled(false);
-    std::env::remove_var("SHACKLE_THREADS");
     assert_eq!(series.len(), 4);
     let profile = probe::profile();
     (
@@ -39,7 +40,7 @@ fn run_sweep(threads: &str) -> Fingerprint {
 
 #[test]
 fn profile_is_identical_at_any_thread_count() {
-    let serial = run_sweep("1");
+    let serial = run_sweep(1);
     // the sweep's spans actually landed under the figure's phase, from
     // every worker thread
     let sim = serial
@@ -48,7 +49,7 @@ fn profile_is_identical_at_any_thread_count() {
         .find(|(path, _)| path == "figure11/simulate")
         .expect("simulate spans nest under figure11");
     assert_eq!(sim.1, 3, "one simulate span per sweep point");
-    for threads in ["2", "4"] {
+    for threads in [2, 4] {
         let parallel = run_sweep(threads);
         assert_eq!(serial, parallel, "{threads} threads");
     }

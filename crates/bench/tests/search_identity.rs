@@ -4,12 +4,15 @@
 //! the search, never its result.
 
 use shackle_bench::searchperf::{auto_search, Mode};
+use shackle_core::par;
 use shackle_core::search::SearchConfig;
 use shackle_ir::kernels;
 use shackle_polyhedra::cache;
 use std::sync::Mutex;
 
-/// `SHACKLE_THREADS` and the engine flag are process-global.
+/// The engine flag is process-global; `SHACKLE_THREADS` overrides are
+/// already serialized inside [`par::with_threads`], but the two tests
+/// here also toggle the cache flag, so they still exclude each other.
 static LOCK: Mutex<()> = Mutex::new(());
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
@@ -28,11 +31,14 @@ fn matmul_report_identical_across_thread_counts() {
     let _g = lock();
     let p = kernels::matmul_ijk();
     let ones = |_: &str, _: &[usize]| 1.0;
-    std::env::set_var("SHACKLE_THREADS", "1");
-    let serial = auto_search(&p, &w8(), 24, ones, Mode::Memoized);
-    std::env::set_var("SHACKLE_THREADS", "8");
-    let wide = auto_search(&p, &w8(), 24, ones, Mode::Memoized);
-    std::env::remove_var("SHACKLE_THREADS");
+    let serial = {
+        let _t = par::with_threads(1);
+        auto_search(&p, &w8(), 24, ones, Mode::Memoized)
+    };
+    let wide = {
+        let _t = par::with_threads(8);
+        auto_search(&p, &w8(), 24, ones, Mode::Memoized)
+    };
     assert_eq!(serial.report, wide.report);
     assert!(serial.products > 0);
 }
@@ -46,9 +52,10 @@ fn cholesky_memoized_parallel_matches_uncached_serial_baseline() {
     let base = auto_search(&p, &w8(), 16, &init, Mode::Baseline);
     cache::set_cache_enabled(was);
     cache::clear_cache();
-    std::env::set_var("SHACKLE_THREADS", "8");
-    let memo = auto_search(&p, &w8(), 16, &init, Mode::Memoized);
-    std::env::remove_var("SHACKLE_THREADS");
+    let memo = {
+        let _t = par::with_threads(8);
+        auto_search(&p, &w8(), 16, &init, Mode::Memoized)
+    };
     assert_eq!(base.report, memo.report);
     assert!(memo.legal > 0);
 }

@@ -12,7 +12,7 @@ use crate::Shackle;
 use shackle_ir::deps::{dependences, prefix_renamer, Dependence, SRC_PREFIX, TGT_PREFIX};
 use shackle_ir::Program;
 use shackle_polyhedra::lex::lex_lt;
-use shackle_polyhedra::{LinExpr, System};
+use shackle_polyhedra::{Budget, LinExpr, System, Verdict};
 use std::fmt;
 use std::sync::LazyLock;
 
@@ -72,14 +72,23 @@ impl fmt::Display for Violation {
 pub struct LegalityReport {
     /// Number of dependences examined.
     pub dependences_checked: usize,
-    /// All violations found (empty iff legal).
+    /// All violations found (empty iff no *proven* violation).
     pub violations: Vec<Violation>,
+    /// Dependences whose Theorem-1 queries the solver could not prove
+    /// either way within the default [`Budget`] (no probe was proven
+    /// feasible, but at least one came back `Unknown`). Always empty
+    /// for in-repo kernels; adversarial inputs land here instead of
+    /// panicking, and [`Self::is_legal`] treats them as disqualifying —
+    /// a shackle is only legal when legality is *proven*.
+    pub unknown: Vec<Dependence>,
 }
 
 impl LegalityReport {
-    /// True iff no dependence is violated.
+    /// True iff every dependence is proven respected: no violation and
+    /// no undecided query. Conservative by construction — `Unknown`
+    /// never admits a candidate, so generated code stays correct.
     pub fn is_legal(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.unknown.is_empty()
     }
 }
 
@@ -120,17 +129,21 @@ pub fn check_legality_with_deps(
     count_legality_query();
     let ctx = LegalityContext::new(program, factors);
     let mut violations = Vec::new();
+    let mut unknown = Vec::new();
     for dep in deps {
-        if let Some(witness) = ctx.violation_witness(dep) {
-            violations.push(Violation {
+        match ctx.dep_outcome(dep) {
+            DepOutcome::Violated(witness) => violations.push(Violation {
                 dependence: dep.clone(),
                 witness,
-            });
+            }),
+            DepOutcome::Respected => {}
+            DepOutcome::Unknown => unknown.push(dep.clone()),
         }
     }
     LegalityReport {
         dependences_checked: deps.len(),
         violations,
+        unknown,
     }
 }
 
@@ -207,7 +220,21 @@ pub fn check_legality_reference(
     LegalityReport {
         dependences_checked: deps.len(),
         violations,
+        // the reference oracle predates the fallible solver and runs
+        // only on in-repo kernels, where every query is proven
+        unknown: Vec::new(),
     }
+}
+
+/// How one dependence fared under the Theorem-1 probes.
+enum DepOutcome {
+    /// Some probe is proven feasible: this witness violates the order.
+    Violated(System),
+    /// Every probe is proven infeasible.
+    Respected,
+    /// No probe proven feasible, at least one undecided — degrade
+    /// conservatively (reject the candidate, never crash the search).
+    Unknown,
 }
 
 /// Shared per-candidate state of the Theorem-1 test: block-coordinate
@@ -291,37 +318,48 @@ impl LegalityContext {
     }
 
     /// Early-exit boolean verdict over all dependences, cheapest first
-    /// (see [`is_legal_with_deps`]).
+    /// (see [`is_legal_with_deps`]). `Unknown` on any dependence means
+    /// not-proven-legal, so the candidate is rejected.
     pub(crate) fn is_legal(&self, deps: &[Dependence]) -> bool {
         // Cheapest dependences first: a violation in a small system is
         // found long before the big ones are touched.
         let mut order: Vec<&Dependence> = deps.iter().collect();
         order.sort_by_key(|d| d.systems.iter().map(System::len).sum::<usize>());
-        order.iter().all(|dep| !self.is_violated(dep))
+        order.iter().all(|dep| self.is_violated(dep) == Verdict::No)
     }
 
-    /// The first feasible probe for this dependence, in the fixed
-    /// (order-disjunct, bad-order-disjunct) enumeration order — the
-    /// witness reported by [`check_legality_with_deps`].
-    fn violation_witness(&self, dep: &Dependence) -> Option<System> {
+    /// The outcome of this dependence in the fixed (order-disjunct,
+    /// bad-order-disjunct) enumeration order — the witness reported by
+    /// [`check_legality_with_deps`]. A probe the solver cannot decide
+    /// keeps scanning (a later probe may still prove a violation) and
+    /// only reports `Unknown` if no proven-feasible probe turns up.
+    fn dep_outcome(&self, dep: &Dependence) -> DepOutcome {
         let ties = self.src_ties[dep.src].and(&self.tgt_ties[dep.dst]);
+        let mut undecided = false;
         for order_disjunct in &dep.systems {
             let base = order_disjunct.and(&ties);
             for bad in &self.bad_order {
                 let probe = base.and(bad);
-                if probe.is_integer_feasible() {
-                    return Some(probe);
+                match probe.decide(&Budget::default()) {
+                    Verdict::Yes => return DepOutcome::Violated(probe),
+                    Verdict::No => {}
+                    Verdict::Unknown => undecided = true,
                 }
             }
         }
-        None
+        if undecided {
+            DepOutcome::Unknown
+        } else {
+            DepOutcome::Respected
+        }
     }
 
     /// Is any probe feasible? Probes are sorted by size so the cheapest
     /// queries run first; since feasibility of *some* probe is
-    /// order-independent, the verdict matches [`Self::violation_witness`]
-    /// being `Some`.
-    fn is_violated(&self, dep: &Dependence) -> bool {
+    /// order-independent, `Yes`/`No` verdicts match
+    /// [`Self::dep_outcome`]. `Yes` short-circuits even past undecided
+    /// probes (a proven violation trumps an unknown one).
+    fn is_violated(&self, dep: &Dependence) -> Verdict {
         let ties = self.src_ties[dep.src].and(&self.tgt_ties[dep.dst]);
         let mut probes: Vec<System> = Vec::new();
         for order_disjunct in &dep.systems {
@@ -331,7 +369,19 @@ impl LegalityContext {
             }
         }
         probes.sort_by_key(System::len);
-        probes.iter().any(System::is_integer_feasible)
+        let mut undecided = false;
+        for probe in &probes {
+            match probe.decide(&Budget::default()) {
+                Verdict::Yes => return Verdict::Yes,
+                Verdict::No => {}
+                Verdict::Unknown => undecided = true,
+            }
+        }
+        if undecided {
+            Verdict::Unknown
+        } else {
+            Verdict::No
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 //! thread count or completion order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex, MutexGuard};
 
 /// Worker threads to use: `SHACKLE_THREADS` if set to a positive
 /// integer, otherwise the available parallelism (1 if unknown).
@@ -24,6 +24,41 @@ pub fn thread_count() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+/// Serializes every `SHACKLE_THREADS` override in the process: the env
+/// var is global, so two tests (or harness passes) mutating it
+/// concurrently would race each other's reads in [`thread_count`].
+static THREADS_ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Exclusive hold on the process-wide `SHACKLE_THREADS` override; the
+/// previous value is restored (and the lock released) on drop.
+pub struct ThreadsGuard {
+    prev: Option<String>,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        match self.prev.take() {
+            Some(v) => std::env::set_var("SHACKLE_THREADS", v),
+            None => std::env::remove_var("SHACKLE_THREADS"),
+        }
+    }
+}
+
+/// Set `SHACKLE_THREADS` to `threads` for the lifetime of the returned
+/// guard, restoring the prior value afterwards. All users of this
+/// helper are mutually serialized behind one process-wide mutex, so
+/// determinism tests that compare serial vs. parallel sweeps cannot
+/// race each other's overrides. Every test or harness that needs a
+/// specific thread count must go through here rather than touching the
+/// env var directly.
+pub fn with_threads(threads: usize) -> ThreadsGuard {
+    let lock = THREADS_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = std::env::var("SHACKLE_THREADS").ok();
+    std::env::set_var("SHACKLE_THREADS", threads.to_string());
+    ThreadsGuard { prev, _lock: lock }
 }
 
 /// Apply `f` to every item on [`thread_count`] scoped threads,

@@ -170,10 +170,18 @@ pub fn dependences(p: &Program) -> Vec<Dependence> {
                     for (ia, ib) in rs.indices().iter().zip(rt.indices()) {
                         same.add(Constraint::eq(ia.clone(), ib.clone()));
                     }
+                    // Keep every disjunct not *proven* empty: an
+                    // undecidable one (budget exhaustion on adversarial
+                    // input) is conservatively kept, over-approximating
+                    // the dependence relation — legality then rejects
+                    // rather than miscompiles.
                     let feasible: Vec<System> = order
                         .iter()
                         .map(|d| same.and(d))
-                        .filter(|s| s.is_integer_feasible())
+                        .filter(|s| {
+                            s.decide(&shackle_polyhedra::Budget::default())
+                                != shackle_polyhedra::Verdict::No
+                        })
                         .collect();
                     if !feasible.is_empty() {
                         out.push(Dependence {

@@ -1,0 +1,508 @@
+//! Differential fuzz oracle for the polyhedral substrate.
+//!
+//! The panic-freedom contract of this crate ("no parser-accepted system
+//! can abort the process, and every proven verdict is correct") is
+//! checked empirically here: [`run`] generates deterministic pseudo-random
+//! constraint systems whose ground truth is computable by brute-force
+//! lattice enumeration over a bounding box, then cross-checks the
+//! Omega test, Fourier–Motzkin projection, and simplification against
+//! that oracle — under the default [`Budget`] and under
+//! [`Budget::strict`] — asserting that
+//!
+//! * nothing panics (a panic fails the harness outright),
+//! * every `Yes`/`No` verdict matches the enumeration,
+//! * simplification and exact projection preserve the integer point set,
+//! * `Unknown` is only ever a *refusal*, never a wrong answer.
+//!
+//! A pinned [`overflow_corpus`] of historically panic-provoking systems
+//! (huge-coefficient equalities, FM combinations that overflow `i64`
+//! mid-combine) rides along so the `i128` promotion path is exercised on
+//! every run, not just when the generator happens to hit it.
+//!
+//! The module is deliberately dependency-free (a local splitmix64
+//! generator, no clock, no I/O) so the same seed reproduces the same
+//! audit everywhere: the `fuzz_oracle` integration test runs a small
+//! audit in `cargo test`, and the `poly_audit` bench binary scales the
+//! same harness up for CI.
+
+use crate::error::Budget;
+use crate::{Constraint, LinExpr, Rel, System, Verdict};
+
+/// Deterministic splitmix64 pseudo-random generator.
+///
+/// Tiny, seedable, and stable across platforms — audit runs are exactly
+/// reproducible from `(seed, systems)` alone.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    fn pick(&mut self, xs: &[i64]) -> i64 {
+        xs[self.below(xs.len() as u64) as usize]
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// One generated test case: a boxed constraint system plus the raw row
+/// data needed to compute its ground truth exactly in `i128`.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// The system handed to the solver (box constraints included).
+    pub system: System,
+    /// Whether the case draws from the huge-coefficient pool.
+    pub adversarial: bool,
+    /// Extra rows beyond the box: `(coeffs, constant, rel)` over the
+    /// case variables in order.
+    rows: Vec<(Vec<i64>, i64, Rel)>,
+    /// Per-variable inclusive bounds; enumeration iterates exactly this
+    /// lattice, so the box rows are satisfied by construction.
+    bounds: Vec<(i64, i64)>,
+}
+
+impl Case {
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Exact ground truth by brute-force enumeration of the bounding
+    /// box, with every row evaluated in `i128` (immune to the very
+    /// overflows the solver is being audited for).
+    pub fn ground_truth(&self) -> bool {
+        let n = self.bounds.len();
+        let mut point: Vec<i64> = self.bounds.iter().map(|&(lo, _)| lo).collect();
+        'outer: loop {
+            if self.rows.iter().all(|(coeffs, constant, rel)| {
+                let v: i128 = coeffs
+                    .iter()
+                    .zip(&point)
+                    .map(|(&c, &x)| c as i128 * x as i128)
+                    .sum::<i128>()
+                    + *constant as i128;
+                match rel {
+                    Rel::Geq => v >= 0,
+                    Rel::Eq => v == 0,
+                }
+            }) {
+                return true;
+            }
+            for i in 0..n {
+                if point[i] < self.bounds[i].1 {
+                    point[i] += 1;
+                    for (p, b) in point.iter_mut().zip(&self.bounds).take(i) {
+                        *p = b.0;
+                    }
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+    }
+}
+
+/// Coefficients that force the `i64` fast path to overflow mid-combine,
+/// so verdicts depend on the `i128` promotion (or on a clean refusal).
+const HUGE: [i64; 6] = [
+    1 << 40,
+    (1 << 40) + 1,
+    -(1 << 40),
+    -((1 << 40) + 3),
+    (1 << 41) + 5,
+    3 << 39,
+];
+
+const SMALL: [i64; 8] = [-3, -2, -1, 0, 0, 1, 2, 3];
+
+/// Generate one random boxed case. `adversarial` mixes huge
+/// coefficients into the rows; the box itself stays tiny either way so
+/// ground truth remains enumerable.
+pub fn gen_case(rng: &mut Rng, adversarial: bool) -> Case {
+    let nvars = 1 + rng.below(3) as usize;
+    let mut bounds = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let lo = rng.range(-4, 3);
+        bounds.push((lo, lo + rng.range(0, 5)));
+    }
+    let nrows = 1 + rng.below(4) as usize;
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut coeffs: Vec<i64> = (0..nvars)
+            .map(|_| {
+                if adversarial && rng.chance(1, 3) {
+                    rng.pick(&HUGE)
+                } else {
+                    rng.pick(&SMALL)
+                }
+            })
+            .collect();
+        if coeffs.iter().all(|&c| c == 0) {
+            let i = rng.below(nvars as u64) as usize;
+            coeffs[i] = rng.pick(&[-2, -1, 1, 2, 3]);
+        }
+        let constant = if adversarial && rng.chance(1, 5) {
+            rng.pick(&HUGE)
+        } else {
+            rng.range(-6, 6)
+        };
+        let rel = if rng.chance(1, 5) { Rel::Eq } else { Rel::Geq };
+        rows.push((coeffs, constant, rel));
+    }
+
+    let mut system = System::new();
+    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+        let v = LinExpr::var(format!("v{i}"));
+        system.add(Constraint::ge(v.clone(), LinExpr::constant(lo)));
+        system.add(Constraint::le(v, LinExpr::constant(hi)));
+    }
+    for (coeffs, constant, rel) in &rows {
+        let mut e = LinExpr::constant(*constant);
+        for (i, &c) in coeffs.iter().enumerate() {
+            if c != 0 {
+                e.add_term(&format!("v{i}"), c);
+            }
+        }
+        system.add(match rel {
+            Rel::Geq => Constraint::geq_zero(e),
+            Rel::Eq => Constraint::eq(e, LinExpr::constant(0)),
+        });
+    }
+    Case {
+        system,
+        adversarial,
+        rows,
+        bounds,
+    }
+}
+
+/// What a pinned corpus system is expected to produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// The solver must *prove* this feasibility verdict under the
+    /// default budget — these cases historically panicked, and the
+    /// `i128` promotion is what makes them provable.
+    Proven(bool),
+    /// The solver must refuse with a clean [`crate::PolyError`] (a
+    /// reduced row genuinely exceeds `i64`): no panic, no wrong answer.
+    CleanError,
+}
+
+/// One pinned regression system.
+#[derive(Clone, Debug)]
+pub struct CorpusCase {
+    /// Stable name (appears in mismatch reports).
+    pub name: &'static str,
+    /// The system under test.
+    pub system: System,
+    /// Required outcome.
+    pub expect: Expectation,
+}
+
+/// Pinned overflow-provoking systems. Every entry once panicked (or
+/// would have, before the fallible rewrite) in `lcm`/`checked_combine`/
+/// equality substitution; the corpus keeps the promotion and refusal
+/// paths exercised on every audit run.
+pub fn overflow_corpus() -> Vec<CorpusCase> {
+    let v = |n: &str| LinExpr::var(n);
+    let k = LinExpr::constant;
+    let mut out = Vec::new();
+
+    // Huge coprime equality: A·x = B·y with boxes. Only (0, 0) fits the
+    // box, so the system is feasible; forcing x ≥ 1 makes the smallest
+    // solution x = B, far outside the box — infeasible. Both run the
+    // symmetric-residue elimination on 40-bit coefficients.
+    let a_coef: i64 = 1 << 40;
+    let b_coef: i64 = (1 << 40) + 1;
+    let mut base = System::new();
+    base.add(Constraint::eq(v("x") * a_coef, v("y") * b_coef));
+    base.add(Constraint::ge(v("x"), k(0)));
+    base.add(Constraint::le(v("x"), k(10)));
+    base.add(Constraint::ge(v("y"), k(0)));
+    base.add(Constraint::le(v("y"), k(10)));
+    out.push(CorpusCase {
+        name: "huge-coprime-equality-feasible",
+        system: base.clone(),
+        expect: Expectation::Proven(true),
+    });
+    let mut strict = base;
+    strict.add(Constraint::ge(v("x"), k(1)));
+    out.push(CorpusCase {
+        name: "huge-coprime-equality-infeasible",
+        system: strict,
+        expect: Expectation::Proven(false),
+    });
+
+    // FM combination whose i64 fast path overflows but whose promoted,
+    // GCD-reduced row fits: eliminating x from a·x + 6y ≥ 0 and
+    // -b·x + 10z ≥ 0 combines into 6b·y + 10a·z ≥ 0 (≈ 2^62.6
+    // intermediates) which reduces by 2 back into range.
+    let a: i64 = (1 << 60) + 7;
+    let b: i64 = (1 << 61) + 9;
+    let mut fm = System::new();
+    fm.add(Constraint::geq_zero(v("x") * a + v("y") * 6));
+    fm.add(Constraint::geq_zero(v("z") * 10 - v("x") * b));
+    fm.add(Constraint::ge(v("y"), k(0)));
+    fm.add(Constraint::le(v("y"), k(1)));
+    fm.add(Constraint::ge(v("z"), k(0)));
+    fm.add(Constraint::le(v("z"), k(1)));
+    out.push(CorpusCase {
+        name: "fm-combine-promoted",
+        system: fm,
+        expect: Expectation::Proven(true),
+    });
+
+    // Unit-equality substitution producing a 2^64 coefficient on a row
+    // that still involves another variable, so GCD reduction cannot
+    // rescue it: x = -2^32·y substituted into 2^32·x + z ≥ 0 yields
+    // -2^64·y + z ≥ 0. Must refuse cleanly (this is the minimal shape
+    // that used to abort in `checked_combine`).
+    let c32: i64 = 1 << 32;
+    let mut ovf = System::new();
+    ovf.add(Constraint::eq(v("x") + v("y") * c32, k(0)));
+    ovf.add(Constraint::geq_zero(v("x") * c32 + v("z")));
+    out.push(CorpusCase {
+        name: "substitution-overflow-refuses",
+        system: ovf,
+        expect: Expectation::CleanError,
+    });
+
+    // One-sided huge system: x has lower bounds only, so the free
+    // elimination path must fire (the `omega.rs` splinter phase once
+    // `expect`ed an upper bound here).
+    let mut lower = System::new();
+    lower.add(Constraint::ge(v("x") * a_coef, v("y") * b_coef));
+    lower.add(Constraint::ge(v("x"), v("y")));
+    lower.add(Constraint::ge(v("y"), k(5)));
+    out.push(CorpusCase {
+        name: "one-sided-lower-bounds-only",
+        system: lower,
+        expect: Expectation::Proven(true),
+    });
+
+    out
+}
+
+/// Audit parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// Number of random systems to generate.
+    pub systems: u64,
+    /// Generator seed (same seed ⇒ same audit, bit for bit).
+    pub seed: u64,
+    /// Also decide every case under [`Budget::strict`], asserting that
+    /// proven verdicts stay correct when resources are scarce.
+    pub strict_pass: bool,
+    /// Cross-check `simplified()` and exact projection against the
+    /// enumeration on small non-adversarial cases.
+    pub check_simplify: bool,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            systems: 1_000,
+            seed: 0x5eed_cafe,
+            strict_pass: true,
+            check_simplify: true,
+        }
+    }
+}
+
+/// Audit outcome. `mismatches` empty ⇔ the oracle held.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Random systems generated.
+    pub systems: u64,
+    /// Pinned corpus systems checked.
+    pub corpus_cases: u64,
+    /// Default-budget verdicts: proven feasible.
+    pub feasible: u64,
+    /// Default-budget verdicts: proven infeasible.
+    pub infeasible: u64,
+    /// Default-budget refusals (budget/overflow → `Unknown`).
+    pub unknown: u64,
+    /// Strict-budget refusals (informational; strictness is the point).
+    pub strict_unknown: u64,
+    /// Cases whose simplification/projection was cross-checked.
+    pub simplify_checked: u64,
+    /// Oracle violations, human-readable. Must be empty.
+    pub mismatches: Vec<String>,
+}
+
+impl AuditReport {
+    /// Did every check pass?
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Run the differential audit. Never panics on solver refusals — a
+/// panic reaching the caller is itself a finding (the harness crash
+/// *is* the failed assertion).
+pub fn run(cfg: &AuditConfig) -> AuditReport {
+    let mut rep = AuditReport::default();
+    let default_budget = Budget::default();
+    let strict_budget = Budget::strict();
+
+    for case in overflow_corpus() {
+        rep.corpus_cases += 1;
+        let got = case.system.try_is_integer_feasible();
+        match (case.expect, got) {
+            (Expectation::Proven(want), Ok(havefound)) if want == havefound => {}
+            (Expectation::CleanError, Err(_)) => {}
+            (want, got) => rep.mismatches.push(format!(
+                "corpus `{}`: expected {:?}, got {:?}",
+                case.name, want, got
+            )),
+        }
+    }
+
+    let mut rng = Rng::new(cfg.seed);
+    for i in 0..cfg.systems {
+        let case = gen_case(&mut rng, i % 3 == 0);
+        let truth = case.ground_truth();
+        match case.system.decide(&default_budget) {
+            Verdict::Yes => {
+                rep.feasible += 1;
+                if !truth {
+                    rep.mismatches.push(format!(
+                        "system #{i}: proven Yes, oracle says empty: {}",
+                        case.system
+                    ));
+                }
+            }
+            Verdict::No => {
+                rep.infeasible += 1;
+                if truth {
+                    rep.mismatches.push(format!(
+                        "system #{i}: proven No, oracle found a point: {}",
+                        case.system
+                    ));
+                }
+            }
+            Verdict::Unknown => rep.unknown += 1,
+        }
+
+        if cfg.strict_pass {
+            match case.system.decide(&strict_budget) {
+                Verdict::Unknown => rep.strict_unknown += 1,
+                v => {
+                    if v.known() != Some(truth) {
+                        rep.mismatches.push(format!(
+                            "system #{i}: strict budget proved {v}, oracle disagrees: {}",
+                            case.system
+                        ));
+                    }
+                }
+            }
+        }
+
+        if cfg.check_simplify && !case.adversarial && case.nvars() <= 2 {
+            rep.simplify_checked += 1;
+            let original = case.system.enumerate_box(-10, 10);
+            let simplified = case.system.simplified().enumerate_box(-10, 10);
+            if original != simplified {
+                rep.mismatches.push(format!(
+                    "system #{i}: simplified() changed the point set of {}",
+                    case.system
+                ));
+            }
+            if case.nvars() == 2 {
+                let (proj, exact) = case
+                    .system
+                    .try_project_onto(&["v0"], &default_budget)
+                    .unwrap_or_else(|_| {
+                        // a refusal is acceptable; substitute a
+                        // trivially-consistent projection
+                        (System::new(), false)
+                    });
+                let mut shadow: Vec<i64> = original.iter().map(|p| p[0]).collect();
+                shadow.sort_unstable();
+                shadow.dedup();
+                let idx = proj.var_index("v0");
+                let mut projected: Vec<i64> = proj
+                    .enumerate_box(-10, 10)
+                    .into_iter()
+                    .filter_map(|p| idx.map(|j| p[j]))
+                    .collect();
+                projected.sort_unstable();
+                projected.dedup();
+                if idx.is_some() {
+                    // necessary direction always; equality when exact
+                    let superset = shadow.iter().all(|x| projected.contains(x));
+                    if !superset || (exact && projected != shadow) {
+                        rep.mismatches.push(format!(
+                            "system #{i}: projection oracle failed (exact={exact}) for {}",
+                            case.system
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    rep.systems = cfg.systems;
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ground_truth_matches_enumerate_box_on_small_cases() {
+        let mut rng = Rng::new(42);
+        for _ in 0..50 {
+            let case = gen_case(&mut rng, false);
+            let brute = !case.system.enumerate_box(-12, 12).is_empty();
+            assert_eq!(case.ground_truth(), brute, "case {}", case.system);
+        }
+    }
+
+    #[test]
+    fn corpus_expectations_hold() {
+        let cfg = AuditConfig {
+            systems: 0,
+            ..AuditConfig::default()
+        };
+        let rep = run(&cfg);
+        assert!(rep.ok(), "corpus mismatches: {:#?}", rep.mismatches);
+        assert!(rep.corpus_cases >= 5);
+    }
+}

@@ -35,6 +35,7 @@
 //! otherwise deadlock. Two threads may race to compute the same entry;
 //! both compute the same pure value, so the duplicate insert is benign.
 
+use crate::error::{Budget, PolyError};
 use crate::{fm, omega, Rel, System};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
@@ -76,6 +77,12 @@ type Shard<V> = Mutex<HashMap<Vec<u8>, V, FnvBuild>>;
 static FEASIBILITY: LazyLock<Vec<Shard<bool>>> = LazyLock::new(new_shards);
 static PROJECTION: LazyLock<Vec<Shard<(System, bool)>>> = LazyLock::new(new_shards);
 static GIST: LazyLock<Vec<Shard<System>>> = LazyLock::new(new_shards);
+/// `Unknown` outcomes live in their own map, keyed by a query tag, the
+/// budget fingerprint, *and* the exact query key: a verdict that merely
+/// reflects resource exhaustion must never be replayed for a different
+/// budget (that would "poison" stricter or looser queries), while the
+/// proven caches above stay budget-independent.
+static UNKNOWN: LazyLock<Vec<Shard<PolyError>>> = LazyLock::new(new_shards);
 
 fn new_shards<V>() -> Vec<Shard<V>> {
     (0..SHARDS)
@@ -95,6 +102,7 @@ static SPLINTERS: AtomicU64 = AtomicU64::new(0);
 static DARK_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static FM_COMBINED: AtomicU64 = AtomicU64::new(0);
 static FM_PRUNED: AtomicU64 = AtomicU64::new(0);
+static UNKNOWN_VERDICTS: AtomicU64 = AtomicU64::new(0);
 
 /// Counters describing the polyhedral work done since the last
 /// [`reset_stats`].
@@ -129,6 +137,11 @@ pub struct PolyStats {
     /// Rows discarded (or tightened in place) by dominance pruning in
     /// `System::push_row` instead of being kept as redundant rows.
     pub fm_rows_pruned: u64,
+    /// Queries that ended `Unknown`: the budget ran out (or arithmetic
+    /// overflowed `i64` even after `i128` promotion) before a proof.
+    /// Consumers degrade conservatively; a healthy pipeline run keeps
+    /// this at zero.
+    pub unknown_verdicts: u64,
 }
 
 impl PolyStats {
@@ -176,6 +189,7 @@ pub fn stats() -> PolyStats {
         dark_shadow_fallbacks: DARK_FALLBACKS.load(Ordering::Relaxed),
         fm_rows_combined: FM_COMBINED.load(Ordering::Relaxed),
         fm_rows_pruned: FM_PRUNED.load(Ordering::Relaxed),
+        unknown_verdicts: UNKNOWN_VERDICTS.load(Ordering::Relaxed),
     }
 }
 
@@ -184,7 +198,7 @@ pub fn stats() -> PolyStats {
 /// `poly.projection_queries`, `poly.projection_hits`,
 /// `poly.gist_queries`, `poly.gist_hits`, `poly.splinters`,
 /// `poly.dark_shadow_fallbacks`, `poly.fm_rows_combined`,
-/// `poly.fm_rows_pruned`).
+/// `poly.fm_rows_pruned`, `poly.unknown`).
 ///
 /// The counters are *set* (not added), so repeated publishes are
 /// idempotent: each probe counter mirrors the cumulative PolyStats
@@ -206,6 +220,7 @@ pub fn publish_stats() {
         ("poly.dark_shadow_fallbacks", s.dark_shadow_fallbacks),
         ("poly.fm_rows_combined", s.fm_rows_combined),
         ("poly.fm_rows_pruned", s.fm_rows_pruned),
+        ("poly.unknown", s.unknown_verdicts),
     ] {
         shackle_probe::counter(name).set(v);
     }
@@ -224,6 +239,7 @@ pub fn reset_stats() {
         &DARK_FALLBACKS,
         &FM_COMBINED,
         &FM_PRUNED,
+        &UNKNOWN_VERDICTS,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -251,6 +267,9 @@ pub fn clear_cache() {
         shard.lock().expect("cache shard poisoned").clear();
     }
     for shard in GIST.iter() {
+        shard.lock().expect("cache shard poisoned").clear();
+    }
+    for shard in UNKNOWN.iter() {
         shard.lock().expect("cache shard poisoned").clear();
     }
 }
@@ -345,7 +364,10 @@ fn feasibility_key(sys: &System) -> Vec<u8> {
             .then_with(|| rows[a].constant.cmp(&rows[b].constant))
     });
 
-    let mut key = Vec::with_capacity(16 + rows.len() * (used.len() + 2) * 8);
+    let mut key = Vec::with_capacity(17 + rows.len() * (used.len() + 2) * 8);
+    // Flag byte first: a contradiction-flagged system is empty whatever
+    // its rows say, so it must never collide with a live system.
+    key.push(sys.is_contradictory() as u8);
     push_i64(&mut key, used.len() as i64);
     for i in idx {
         key.push(rel_of(i));
@@ -360,6 +382,10 @@ fn feasibility_key(sys: &System) -> Vec<u8> {
 /// Append the system's variables and rows in insertion order — the
 /// exact-input serialization shared by the projection and gist keys.
 fn push_system(key: &mut Vec<u8>, sys: &System) {
+    // The contradiction flag is part of the system's identity: a
+    // flagged system is empty regardless of its rows, so it must never
+    // share a key with a live system that happens to have equal rows.
+    key.push(sys.is_contradictory() as u8);
     push_i64(key, sys.vars().len() as i64);
     for v in sys.vars() {
         push_i64(key, v.len() as i64);
@@ -428,48 +454,116 @@ pub(crate) fn sub_store(key: Vec<u8>, v: bool) {
     insert(&FEASIBILITY, key, v);
 }
 
+/// Tags separating query families inside the [`UNKNOWN`] map.
+const UNKNOWN_FEAS: u8 = 0;
+const UNKNOWN_PROJ: u8 = 1;
+
+/// Key for an `Unknown` outcome: query tag, budget fingerprint, then
+/// the exact query key.
+fn unknown_key(tag: u8, budget: &Budget, query_key: &[u8]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(9 + query_key.len());
+    key.push(tag);
+    key.extend_from_slice(&budget.fingerprint().to_le_bytes());
+    key.extend_from_slice(query_key);
+    key
+}
+
+fn note_unknown(e: PolyError) -> PolyError {
+    UNKNOWN_VERDICTS.fetch_add(1, Ordering::Relaxed);
+    e
+}
+
 /// Cached Omega feasibility (the implementation behind
-/// [`crate::System::is_integer_feasible`]).
-pub(crate) fn feasible(sys: &System) -> bool {
+/// [`crate::System::is_integer_feasible`], [`crate::System::decide`]
+/// and [`crate::System::try_is_integer_feasible`]).
+///
+/// Proven answers are memoized on the canonical system key alone (they
+/// are budget-independent); `Err` outcomes are memoized per
+/// `(budget, system)` in the separate [`UNKNOWN`] map so they can never
+/// poison a query with a different budget. Every `Err` returned —
+/// computed or replayed — counts into `poly.unknown`.
+pub(crate) fn try_feasible(sys: &System, budget: &Budget) -> Result<bool, PolyError> {
     if sys.is_contradictory() {
-        return false;
+        return Ok(false);
     }
     if sys.rows().is_empty() {
-        return true;
+        return Ok(true);
     }
     FEAS_QUERIES.fetch_add(1, Ordering::Relaxed);
     if !cache_enabled() {
         let _phase = shackle_probe::span("omega");
-        return omega::is_integer_feasible(sys);
+        return omega::try_is_integer_feasible(sys, budget).map_err(note_unknown);
     }
     let key = feasibility_key(sys);
     if let Some(v) = lookup(&FEASIBILITY, &key) {
         FEAS_HITS.fetch_add(1, Ordering::Relaxed);
-        return v;
+        return Ok(v);
+    }
+    let ukey = unknown_key(UNKNOWN_FEAS, budget, &key);
+    if let Some(e) = lookup(&UNKNOWN, &ukey) {
+        FEAS_HITS.fetch_add(1, Ordering::Relaxed);
+        return Err(note_unknown(e));
     }
     let _phase = shackle_probe::span("omega");
-    let v = omega::is_integer_feasible(sys);
-    insert(&FEASIBILITY, key, v);
-    v
+    match omega::try_is_integer_feasible(sys, budget) {
+        Ok(v) => {
+            insert(&FEASIBILITY, key, v);
+            Ok(v)
+        }
+        Err(e) => {
+            insert(&UNKNOWN, ukey, e);
+            Err(note_unknown(e))
+        }
+    }
+}
+
+/// Cached Omega feasibility under the default budget, panicking on
+/// `Unknown` (legacy entry point; see [`try_feasible`]).
+#[cfg(test)]
+pub(crate) fn feasible(sys: &System) -> bool {
+    try_feasible(sys, &Budget::default()).unwrap_or_else(|e| panic!("cache::feasible: {e}"))
 }
 
 /// Cached projection (the implementation behind
-/// [`crate::System::project_onto`]).
-pub(crate) fn project(sys: &System, keep: &[&str]) -> (System, bool) {
+/// [`crate::System::project_onto`] and
+/// [`crate::System::try_project_onto`]).
+///
+/// The projection result (its exactness flag in particular) can depend
+/// on the budget through conservative degradation, so the proven cache
+/// key includes the budget fingerprint; `Err` outcomes go to the
+/// [`UNKNOWN`] map like feasibility.
+pub(crate) fn try_project(
+    sys: &System,
+    keep: &[&str],
+    budget: &Budget,
+) -> Result<(System, bool), PolyError> {
     PROJ_QUERIES.fetch_add(1, Ordering::Relaxed);
     if !cache_enabled() {
         let _phase = shackle_probe::span("fm");
-        return fm::project_onto(sys, keep);
+        return fm::try_project_onto(sys, keep, budget).map_err(note_unknown);
     }
-    let key = projection_key(sys, keep);
+    let mut key = projection_key(sys, keep);
+    key.extend_from_slice(&budget.fingerprint().to_le_bytes());
     if let Some(v) = lookup(&PROJECTION, &key) {
         PROJ_HITS.fetch_add(1, Ordering::Relaxed);
-        return v;
+        return Ok(v);
+    }
+    let ukey = unknown_key(UNKNOWN_PROJ, budget, &key);
+    if let Some(e) = lookup(&UNKNOWN, &ukey) {
+        PROJ_HITS.fetch_add(1, Ordering::Relaxed);
+        return Err(note_unknown(e));
     }
     let _phase = shackle_probe::span("fm");
-    let v = fm::project_onto(sys, keep);
-    insert(&PROJECTION, key, v.clone());
-    v
+    match fm::try_project_onto(sys, keep, budget) {
+        Ok(v) => {
+            insert(&PROJECTION, key, v.clone());
+            Ok(v)
+        }
+        Err(e) => {
+            insert(&UNKNOWN, ukey, e);
+            Err(note_unknown(e))
+        }
+    }
 }
 
 /// Cached gist (the implementation behind [`crate::System::gist`]).
@@ -544,6 +638,38 @@ mod tests {
     }
 
     #[test]
+    fn contradiction_flag_is_part_of_every_key() {
+        // Regression: a contradiction-flagged system with the same rows
+        // as a live one used to share its projection/gist key, so each
+        // could replay the other's cached result (found by the fuzz
+        // oracle: `{ false }` projecting to a live interval and vice
+        // versa).
+        let live = {
+            let mut s = System::new();
+            s.add(Constraint::ge(v("x"), LinExpr::constant(2)));
+            s.add(Constraint::le(v("x"), LinExpr::constant(5)));
+            s
+        };
+        let mut flagged = live.clone();
+        flagged.add(Constraint::geq_zero(LinExpr::constant(-1)));
+        assert!(flagged.is_contradictory());
+        // the trivially-false row is absorbed into the flag, leaving
+        // identical rows — only the flag distinguishes the two systems
+        assert_eq!(live.rows().len(), flagged.rows().len());
+        assert_ne!(feasibility_key(&live), feasibility_key(&flagged));
+        assert_ne!(
+            projection_key(&live, &["x"]),
+            projection_key(&flagged, &["x"])
+        );
+        // end-to-end through the cache: both directions stay sound
+        clear_cache();
+        let (p_live, _) = try_project(&live, &["x"], &Budget::default()).unwrap();
+        let (p_flagged, _) = try_project(&flagged, &["x"], &Budget::default()).unwrap();
+        assert!(!p_live.is_contradictory());
+        assert!(p_flagged.is_contradictory());
+    }
+
+    #[test]
     fn cached_results_match_direct_computation() {
         let mut s = System::new();
         s.add(Constraint::ge(v("j"), v("b") * 25 - LinExpr::constant(24)));
@@ -556,14 +682,50 @@ mod tests {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         clear_cache();
         // miss then hit: both must equal the direct computation
+        let budget = Budget::default();
         assert_eq!(feasible(&s), direct_feas);
         assert_eq!(feasible(&s), direct_feas);
-        assert_eq!(project(&s, &["j", "n"]), direct_proj);
-        assert_eq!(project(&s, &["j", "n"]), direct_proj);
+        assert_eq!(
+            try_project(&s, &["j", "n"], &budget),
+            Ok(direct_proj.clone())
+        );
+        assert_eq!(try_project(&s, &["j", "n"], &budget), Ok(direct_proj));
 
         let st = stats();
         assert!(st.feasibility_hits >= 1);
         assert!(st.projection_hits >= 1);
+    }
+
+    #[test]
+    fn unknown_results_are_keyed_per_budget_and_do_not_poison() {
+        // A system whose splinter fan-out exhausts a tiny budget but
+        // resolves instantly under the default one.
+        let mut s = System::new();
+        s.add(Constraint::ge(
+            v("x") * 6,
+            v("y") * 4 + LinExpr::constant(1),
+        ));
+        s.add(Constraint::le(
+            v("x") * 6,
+            v("y") * 4 + LinExpr::constant(2),
+        ));
+        s.add(Constraint::ge(v("y"), LinExpr::constant(0)));
+        s.add(Constraint::le(v("y"), LinExpr::constant(1_000)));
+        let tiny = Budget {
+            max_depth: 1,
+            ..Budget::default()
+        };
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear_cache();
+        let before = stats().unknown_verdicts;
+        let first = try_feasible(&s, &tiny);
+        if first.is_err() {
+            // replayed from the Unknown map: same error, counted again
+            assert_eq!(try_feasible(&s, &tiny), first);
+            assert!(stats().unknown_verdicts >= before + 2);
+        }
+        // the default budget must not see the tiny budget's failure
+        assert_eq!(try_feasible(&s, &Budget::default()), Ok(true));
     }
 
     #[test]

@@ -152,6 +152,19 @@ impl Constraint {
             rel: self.rel,
         }
     }
+
+    /// Fallible [`Self::substitute`]: overflow surfaces as a
+    /// [`crate::error::PolyError`] instead of a panic.
+    pub fn try_substitute(
+        &self,
+        name: &str,
+        replacement: &LinExpr,
+    ) -> Result<Constraint, crate::error::PolyError> {
+        Ok(Constraint {
+            expr: self.expr.try_substitute(name, replacement)?,
+            rel: self.rel,
+        })
+    }
 }
 
 impl fmt::Display for Constraint {

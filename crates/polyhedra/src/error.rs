@@ -1,0 +1,221 @@
+//! Fallible-solver vocabulary: [`PolyError`], [`Budget`], [`Verdict`].
+//!
+//! The Omega test and Fourier–Motzkin elimination grow coefficients
+//! exponentially in elimination depth, and the splinter phase can fan
+//! out combinatorially. A production pipeline cannot afford to abort
+//! the process when an adversarial (but parser-accepted) kernel drives
+//! the solver into that regime, so every solver entry point has a
+//! fallible form:
+//!
+//! * arithmetic that would overflow `i64` is **retried in `i128`** and
+//!   GCD-reduced before giving up; only a row that genuinely cannot be
+//!   represented yields [`PolyError::Overflow`];
+//! * structural resource use (rows, recursion depth, splinters,
+//!   coefficient magnitude) is metered against a [`Budget`]; exhaustion
+//!   yields [`PolyError::Budget`];
+//! * callers that only care about satisfiability receive a three-valued
+//!   [`Verdict`] — `Yes` and `No` are *proven* answers (independent of
+//!   the budget that produced them), `Unknown` means the budget ran out
+//!   first and the caller must degrade conservatively.
+
+use std::fmt;
+
+/// Why a polyhedral operation could not produce a proven answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolyError {
+    /// A coefficient or constant exceeded `i64` even after promoting
+    /// the computation to `i128` and reducing the row by its GCD.
+    Overflow {
+        /// Which operation overflowed (static context string).
+        context: &'static str,
+    },
+    /// A [`Budget`] resource was exhausted before an answer was proven.
+    Budget {
+        /// Which resource ran out.
+        resource: Resource,
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+}
+
+/// The meterable resources of a [`Budget`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Rows in any intermediate system ([`Budget::max_rows`]).
+    Rows,
+    /// Recursion depth of the Omega test ([`Budget::max_depth`]).
+    Depth,
+    /// Splinter sub-problems spawned by one query
+    /// ([`Budget::max_splinters`]).
+    Splinters,
+    /// Magnitude of any coefficient after reduction
+    /// ([`Budget::max_coeff`]).
+    Coefficient,
+}
+
+impl fmt::Display for PolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyError::Overflow { context } => {
+                write!(f, "i64 overflow (after i128 promotion) in {context}")
+            }
+            PolyError::Budget { resource, limit } => {
+                let what = match resource {
+                    Resource::Rows => "row",
+                    Resource::Depth => "elimination depth",
+                    Resource::Splinters => "splinter",
+                    Resource::Coefficient => "coefficient magnitude",
+                };
+                write!(f, "polyhedral {what} budget exhausted (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+/// Resource limits for one top-level solver query.
+///
+/// The default budget is deliberately generous: every in-repo kernel —
+/// and every system a realistic shackling search produces — resolves
+/// well inside it (the `poly.unknown` probe counter stays at zero
+/// across full searches). The limits exist to bound adversarial
+/// queries, not to ration ordinary ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Budget {
+    /// Maximum rows in any intermediate system.
+    pub max_rows: usize,
+    /// Maximum recursion depth of the Omega test (each inexact
+    /// elimination and each splinter descends one level).
+    pub max_depth: usize,
+    /// Maximum splinter sub-problems spawned by one top-level query.
+    pub max_splinters: u64,
+    /// Maximum absolute value of any coefficient or constant after GCD
+    /// reduction.
+    pub max_coeff: i64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_rows: 4096,
+            max_depth: 500,
+            max_splinters: 100_000,
+            max_coeff: i64::MAX,
+        }
+    }
+}
+
+impl Budget {
+    /// A deliberately tiny budget, useful in tests that want to observe
+    /// `Unknown` verdicts without constructing huge systems.
+    pub fn strict() -> Self {
+        Budget {
+            max_rows: 16,
+            max_depth: 4,
+            max_splinters: 4,
+            max_coeff: 1 << 20,
+        }
+    }
+
+    /// Stable fingerprint of the limits, used to key budget-dependent
+    /// (`Unknown`) cache entries separately per budget.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        // FNV-1a over the four limits; stable across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [
+            self.max_rows as u64,
+            self.max_depth as u64,
+            self.max_splinters,
+            self.max_coeff as u64,
+        ] {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// Three-valued answer to "does this system have an integer point?".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Proven satisfiable. Exact; independent of the budget used.
+    Yes,
+    /// Proven unsatisfiable. Exact; independent of the budget used.
+    No,
+    /// The budget was exhausted (or arithmetic overflowed) before
+    /// either proof completed. Consumers must degrade conservatively:
+    /// legality treats `Unknown` as a potential violation and rejects
+    /// the candidate shackle, which keeps generated code correct.
+    Unknown,
+}
+
+impl Verdict {
+    /// `Yes`/`No` as a bool; `None` for `Unknown`.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Verdict::Yes => Some(true),
+            Verdict::No => Some(false),
+            Verdict::Unknown => None,
+        }
+    }
+
+    /// Wrap a proven bool answer.
+    pub fn proven(b: bool) -> Self {
+        if b {
+            Verdict::Yes
+        } else {
+            Verdict::No
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Yes => "yes",
+            Verdict::No => "no",
+            Verdict::Unknown => "unknown",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_round_trips_proven_bools() {
+        assert_eq!(Verdict::proven(true), Verdict::Yes);
+        assert_eq!(Verdict::proven(false), Verdict::No);
+        assert_eq!(Verdict::Yes.known(), Some(true));
+        assert_eq!(Verdict::No.known(), Some(false));
+        assert_eq!(Verdict::Unknown.known(), None);
+    }
+
+    #[test]
+    fn budget_fingerprint_distinguishes_limits() {
+        let a = Budget::default();
+        let mut b = Budget::default();
+        b.max_splinters += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), Budget::default().fingerprint());
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = PolyError::Overflow {
+            context: "fm combine",
+        };
+        assert!(e.to_string().contains("fm combine"));
+        let e = PolyError::Budget {
+            resource: Resource::Splinters,
+            limit: 4,
+        };
+        assert!(e.to_string().contains("splinter"));
+        assert!(e.to_string().contains('4'));
+    }
+}

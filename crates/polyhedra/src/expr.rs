@@ -5,6 +5,7 @@
 //! particular variable ordering. [`crate::System`] converts them to dense
 //! rows internally.
 
+use crate::error::PolyError;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
@@ -112,6 +113,60 @@ impl LinExpr {
             .constant
             .checked_add(c)
             .expect("constant overflow in LinExpr");
+    }
+
+    /// Fallible in-place `self += coeff * name`: reports coefficient
+    /// overflow as a [`PolyError`] instead of panicking.
+    pub fn try_add_term(&mut self, name: &str, coeff: i64) -> Result<(), PolyError> {
+        const OVF: PolyError = PolyError::Overflow {
+            context: "linear expression",
+        };
+        if coeff == 0 {
+            return Ok(());
+        }
+        let entry = self.terms.entry(name.to_string()).or_insert(0);
+        *entry = entry.checked_add(coeff).ok_or(OVF)?;
+        if *entry == 0 {
+            self.terms.remove(name);
+        }
+        Ok(())
+    }
+
+    /// Fallible scalar multiple: `Ok(k * self)` unless a coefficient or
+    /// the constant leaves i64.
+    pub fn try_scale(&self, k: i64) -> Result<LinExpr, PolyError> {
+        const OVF: PolyError = PolyError::Overflow {
+            context: "linear expression",
+        };
+        if k == 0 {
+            return Ok(LinExpr::zero());
+        }
+        let mut out = self.clone();
+        for c in out.terms.values_mut() {
+            *c = c.checked_mul(k).ok_or(OVF)?;
+        }
+        out.constant = out.constant.checked_mul(k).ok_or(OVF)?;
+        Ok(out)
+    }
+
+    /// Fallible [`Self::substitute`]: the scaled replacement and the
+    /// merged terms are all overflow-checked.
+    pub fn try_substitute(&self, name: &str, replacement: &LinExpr) -> Result<LinExpr, PolyError> {
+        const OVF: PolyError = PolyError::Overflow {
+            context: "linear expression",
+        };
+        let c = self.coeff(name);
+        if c == 0 {
+            return Ok(self.clone());
+        }
+        let mut out = self.clone();
+        out.terms.remove(name);
+        let scaled = replacement.try_scale(c)?;
+        for (v, k) in scaled.iter() {
+            out.try_add_term(v, k)?;
+        }
+        out.constant = out.constant.checked_add(scaled.constant).ok_or(OVF)?;
+        Ok(out)
     }
 
     /// Substitute `replacement` for `name`: every occurrence `c * name`

@@ -6,10 +6,17 @@
 //! projection) or the **dark shadow** (Pugh's under-approximation, whose
 //! integer points are guaranteed to lift to integer points of the
 //! original system).
+//!
+//! FM coefficient growth is exponential in elimination depth, so every
+//! combination step is fallible: pairs are combined in `i64` on the hot
+//! path and **retried exactly in `i128`** (GCD-reduced before
+//! narrowing) on overflow; only rows whose reduced form truly exceeds
+//! `i64` — or a [`Budget`] limit — surface a [`PolyError`].
 
-use crate::num::checked_combine;
-use crate::system::Row;
-use crate::{Rel, System};
+use crate::error::{Budget, PolyError, Resource};
+use crate::num::combine_i128;
+use crate::system::{narrow_row, NarrowedRow, Row};
+use crate::{Rel, System, Verdict};
 
 /// Which shadow to compute when eliminating a variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,8 +86,72 @@ pub(crate) fn bound_profile(sys: &System, idx: usize) -> (usize, usize) {
 /// Equalities involving the variable are first split into opposite
 /// inequalities (exact elimination of equalities is the Omega test's job;
 /// this function is the raw FM kernel).
-pub(crate) fn eliminate(sys: &System, idx: usize, shadow: Shadow) -> System {
-    eliminate_tracked(sys, idx, shadow).0
+pub(crate) fn eliminate(
+    sys: &System,
+    idx: usize,
+    shadow: Shadow,
+    budget: &Budget,
+) -> Result<System, PolyError> {
+    Ok(eliminate_tracked(sys, idx, shadow, budget)?.0)
+}
+
+/// Negate a row in place, failing cleanly on `i64::MIN`.
+fn negate_row(row: &mut Row) -> Result<(), PolyError> {
+    const CTX: PolyError = PolyError::Overflow {
+        context: "row negation",
+    };
+    for k in &mut row.coeffs {
+        *k = k.checked_neg().ok_or(CTX)?;
+    }
+    row.constant = row.constant.checked_neg().ok_or(CTX)?;
+    Ok(())
+}
+
+/// Combine a lower/upper pair entirely in `i64`; `None` means some step
+/// overflowed and the caller must retry in `i128`.
+fn combine_pair_fast(lo: &Row, up: &Row, a: i64, b: i64, dark: bool) -> Option<Row> {
+    let mut coeffs = Vec::with_capacity(lo.coeffs.len());
+    for (&l, &u) in lo.coeffs.iter().zip(&up.coeffs) {
+        let v = b
+            .checked_mul(l)
+            .and_then(|x| a.checked_mul(u).and_then(|y| x.checked_add(y)))?;
+        coeffs.push(v);
+    }
+    let mut constant = b
+        .checked_mul(lo.constant)
+        .and_then(|x| a.checked_mul(up.constant).and_then(|y| x.checked_add(y)))?;
+    if dark {
+        // dark shadow: combined >= (a-1)(b-1)
+        let correction = (a - 1).checked_mul(b - 1)?;
+        constant = constant.checked_sub(correction)?;
+    }
+    Some(Row {
+        coeffs,
+        constant,
+        rel: Rel::Geq,
+    })
+}
+
+/// The `i128` retry: exact combination, GCD reduction, then narrowing.
+fn combine_pair_promoted(
+    lo: &Row,
+    up: &Row,
+    a: i64,
+    b: i64,
+    dark: bool,
+    max_coeff: i64,
+) -> Result<NarrowedRow, PolyError> {
+    let coeffs: Vec<i128> = lo
+        .coeffs
+        .iter()
+        .zip(&up.coeffs)
+        .map(|(&l, &u)| combine_i128(b, l, a, u))
+        .collect();
+    let mut constant = combine_i128(b, lo.constant, a, up.constant);
+    if dark {
+        constant -= (a as i128 - 1) * (b as i128 - 1);
+    }
+    narrow_row(&coeffs, constant, Rel::Geq, max_coeff)
 }
 
 /// [`eliminate`], additionally reporting *pairwise exactness*: `true`
@@ -91,7 +162,12 @@ pub(crate) fn eliminate(sys: &System, idx: usize, shadow: Shadow) -> System {
 /// *or* upper coefficients) to mixed rows where each *pair* contains a
 /// unit, letting the Omega test and `project_onto` skip the dark
 /// shadow / splinter machinery.
-pub(crate) fn eliminate_tracked(sys: &System, idx: usize, shadow: Shadow) -> (System, bool) {
+pub(crate) fn eliminate_tracked(
+    sys: &System,
+    idx: usize,
+    shadow: Shadow,
+    budget: &Budget,
+) -> Result<(System, bool), PolyError> {
     // Equality rows are split into a Geq pair; everything else is
     // partitioned by reference so the (hot) all-inequality case clones a
     // row only when it actually enters the output.
@@ -101,10 +177,7 @@ pub(crate) fn eliminate_tracked(sys: &System, idx: usize, shadow: Shadow) -> (Sy
             let mut pos = r.clone();
             pos.rel = Rel::Geq;
             let mut neg = pos.clone();
-            for k in &mut neg.coeffs {
-                *k = -*k;
-            }
-            neg.constant = -neg.constant;
+            negate_row(&mut neg)?;
             splits.push(pos);
             splits.push(neg);
         }
@@ -137,37 +210,50 @@ pub(crate) fn eliminate_tracked(sys: &System, idx: usize, shadow: Shadow) -> (Sy
     let mut out = System::with_vars_arc(sys.vars_arc());
     if sys.is_contradictory() {
         out.set_contradiction();
-        return (out, true);
+        return Ok((out, true));
     }
     for r in rest {
         out.push_row(r.clone());
     }
     crate::cache::note_fm_combined((lowers.len() * uppers.len()) as u64);
+    let dark = shadow == Shadow::Dark;
+    // Tight coefficient ceilings must see the reduced form of every
+    // row, so they skip the unreduced i64 fast path entirely.
+    let fast_ok = budget.max_coeff == i64::MAX;
     let mut pairwise_exact = true;
-    for lo in &lowers {
+    'pairs: for lo in &lowers {
         let a = lo.coeffs[idx]; // > 0
         for up in &uppers {
-            let b = -up.coeffs[idx]; // > 0
-                                     // b*lo + a*up eliminates idx
-            let coeffs: Vec<i64> = lo
-                .coeffs
-                .iter()
-                .zip(&up.coeffs)
-                .map(|(&l, &u)| checked_combine(b, l, a, u))
-                .collect();
-            let mut constant = checked_combine(b, lo.constant, a, up.constant);
-            let correction = (a - 1).checked_mul(b - 1).expect("dark shadow overflow");
-            pairwise_exact &= correction == 0;
-            if shadow == Shadow::Dark {
-                // dark shadow: combined >= (a-1)(b-1)
-                constant -= correction;
+            let b = up.coeffs[idx].checked_neg().ok_or(PolyError::Overflow {
+                context: "fm upper coefficient",
+            })?; // > 0
+            pairwise_exact &= a == 1 || b == 1; // correction (a-1)(b-1) == 0
+            let fast = if fast_ok {
+                combine_pair_fast(lo, up, a, b, dark)
+            } else {
+                None
+            };
+            match fast {
+                // b*lo + a*up eliminates idx
+                Some(row) => {
+                    debug_assert_eq!(row.coeffs[idx], 0);
+                    out.push_row(row);
+                }
+                None => match combine_pair_promoted(lo, up, a, b, dark, budget.max_coeff)? {
+                    NarrowedRow::Row(row) => out.push_row(row),
+                    NarrowedRow::True => {}
+                    NarrowedRow::False => {
+                        out.set_contradiction();
+                        break 'pairs;
+                    }
+                },
             }
-            debug_assert_eq!(coeffs[idx], 0);
-            out.push_row(Row {
-                coeffs,
-                constant,
-                rel: Rel::Geq,
-            });
+            if out.rows().len() > budget.max_rows {
+                return Err(PolyError::Budget {
+                    resource: Resource::Rows,
+                    limit: budget.max_rows as u64,
+                });
+            }
         }
     }
     // With the engine on, leave the (all-zero) column in place: dropping
@@ -178,7 +264,7 @@ pub(crate) fn eliminate_tracked(sys: &System, idx: usize, shadow: Shadow) -> (Sy
     if !crate::cache::cache_enabled() {
         out.drop_var_column(idx);
     }
-    (out, pairwise_exact)
+    Ok((out, pairwise_exact))
 }
 
 /// Project the system onto `keep`, eliminating every other variable.
@@ -191,6 +277,12 @@ pub(crate) fn eliminate_tracked(sys: &System, idx: usize, shadow: Shadow) -> (Sy
 ///
 /// Equalities with a unit coefficient on an eliminated variable are used
 /// for exact substitution before falling back to FM.
+///
+/// # Panics
+///
+/// Panics if elimination overflows `i64` even after `i128` promotion,
+/// or exhausts the default [`Budget`]; [`try_project_onto`] is the
+/// fallible form.
 ///
 /// # Examples
 ///
@@ -209,11 +301,24 @@ pub(crate) fn eliminate_tracked(sys: &System, idx: usize, shadow: Shadow) -> (Sy
 /// assert!(!p.eval(&|v| if v == "j" { 6 } else { 5 }));
 /// ```
 pub fn project_onto(sys: &System, keep: &[&str]) -> (System, bool) {
+    try_project_onto(sys, keep, &Budget::default()).unwrap_or_else(|e| {
+        panic!("project_onto: {e} (use try_project_onto for fallible projection)")
+    })
+}
+
+/// Fallible [`project_onto`] under an explicit [`Budget`]. Never
+/// panics: arithmetic that would overflow is retried in `i128`, and
+/// genuine overflow or budget exhaustion surfaces as a [`PolyError`].
+pub fn try_project_onto(
+    sys: &System,
+    keep: &[&str],
+    budget: &Budget,
+) -> Result<(System, bool), PolyError> {
     let mut s = sys.clone();
     let mut exact = true;
     loop {
         if s.is_contradictory() {
-            return (s, true);
+            return Ok((s, true));
         }
         // find next variable to eliminate, preferring exact unit-equality
         // substitutions, then exact FM, then inexact FM with lowest cost
@@ -263,7 +368,6 @@ pub fn project_onto(sys: &System, keep: &[&str]) -> (System, bool) {
                 continue; // dropped an unused column
             }
             // substitute from the equality with unit coefficient
-            let name = s.vars()[idx].clone();
             let row = s
                 .rows()
                 .iter()
@@ -272,21 +376,23 @@ pub fn project_onto(sys: &System, keep: &[&str]) -> (System, bool) {
                 .expect("unit equality vanished");
             let sign = row.coeffs[idx];
             // sign*x + e = 0  →  x = -sign*e
-            let mut e = crate::LinExpr::constant(row.constant);
+            const NEG: PolyError = PolyError::Overflow {
+                context: "unit-equality substitution",
+            };
+            let mut repl = Vec::with_capacity(row.coeffs.len());
             for (k, &c) in row.coeffs.iter().enumerate() {
-                if k != idx {
-                    e.add_term(&s.vars()[k], c);
-                }
+                repl.push(if k == idx {
+                    0
+                } else {
+                    c.checked_mul(-sign).ok_or(NEG)?
+                });
             }
-            let replacement = e * (-sign);
-            s = s.substitute(&name, &replacement);
-            if let Some(i) = s.var_index(&name) {
-                s.drop_var_column(i);
-            }
+            let repl_const = row.constant.checked_mul(-sign).ok_or(NEG)?;
+            s = s.try_substitute_col(idx, &repl, repl_const, None, budget.max_coeff)?;
             continue;
         }
         let (idx, _cost, ex) = best.expect("no candidate chosen");
-        let (real, pairwise) = eliminate_tracked(&s, idx, Shadow::Real);
+        let (real, pairwise) = eliminate_tracked(&s, idx, Shadow::Real, budget)?;
         // The pairwise-correction proof rides the engine flag so that
         // baseline measurements (`cache::set_cache_enabled(false)`)
         // exercise the pre-memoization semantic fallback.
@@ -300,15 +406,22 @@ pub fn project_onto(sys: &System, keep: &[&str]) -> (System, bool) {
             // exactly the integer projection. This is what makes
             // block-coordinate variables (window constraints
             // `e ≤ w·z ≤ e + w − 1`) exactly projectable.
+            //
+            // The proof obligation degrades conservatively: if the dark
+            // shadow cannot be computed, or a feasibility/implication
+            // probe comes back `Unknown`, the projection is simply
+            // marked inexact — never an error, never a panic.
             crate::cache::note_dark_fallback();
-            let dark = eliminate(&s, idx, Shadow::Dark);
-            let real_in_dark = if dark.is_contradictory() {
-                // equal only if the real shadow is empty too
-                !real.is_integer_feasible()
-            } else {
-                dark.constraints()
+            let real_in_dark = match eliminate(&s, idx, Shadow::Dark, budget) {
+                Ok(dark) if dark.is_contradictory() => {
+                    // equal only if the real shadow is empty too
+                    crate::cache::try_feasible(&real, budget) == Ok(false)
+                }
+                Ok(dark) => dark
+                    .constraints()
                     .iter()
-                    .all(|c| crate::simplify::implies(&real, c))
+                    .all(|c| crate::simplify::try_implies(&real, c, budget) == Verdict::Yes),
+                Err(_) => false,
             };
             if !real_in_dark {
                 exact = false;
@@ -316,7 +429,7 @@ pub fn project_onto(sys: &System, keep: &[&str]) -> (System, bool) {
         }
         s = real;
     }
-    (s, exact)
+    Ok((s, exact))
 }
 
 #[cfg(test)]
@@ -336,7 +449,7 @@ mod tests {
         s.add(Constraint::le(v("x"), v("y")));
         s.add(Constraint::le(v("y"), LinExpr::constant(10)));
         let idx = s.var_index("x").unwrap();
-        let e = eliminate(&s, idx, Shadow::Real);
+        let e = eliminate(&s, idx, Shadow::Real, &Budget::default()).unwrap();
         // with the engine on the column survives (all-zero); either way
         // the variable must no longer constrain anything
         assert!(!e.used_vars().iter().any(|v| v == "x"));
@@ -354,8 +467,8 @@ mod tests {
         s.add(Constraint::geq_zero(v("x") * 2 - v("y")));
         s.add(Constraint::geq_zero(v("n") - v("x") * 3));
         let idx = s.var_index("x").unwrap();
-        let real = eliminate(&s, idx, Shadow::Real);
-        let dark = eliminate(&s, idx, Shadow::Dark);
+        let real = eliminate(&s, idx, Shadow::Real, &Budget::default()).unwrap();
+        let dark = eliminate(&s, idx, Shadow::Dark, &Budget::default()).unwrap();
         // Soundness on a grid: every dark-shadow point lifts to an
         // integer x, and every point with an integer x is in the real
         // shadow.
@@ -386,7 +499,7 @@ mod tests {
         let mut s = System::new();
         s.add(Constraint::ge(v("x"), v("y")));
         let idx = s.var_index("x").unwrap();
-        let e = eliminate(&s, idx, Shadow::Real);
+        let e = eliminate(&s, idx, Shadow::Real, &Budget::default()).unwrap();
         assert!(e.is_empty());
     }
 
@@ -397,7 +510,7 @@ mod tests {
         s.add(Constraint::eq(v("x"), v("y")));
         s.add(Constraint::le(v("x"), LinExpr::constant(5)));
         let idx = s.var_index("x").unwrap();
-        let e = eliminate(&s, idx, Shadow::Real);
+        let e = eliminate(&s, idx, Shadow::Real, &Budget::default()).unwrap();
         assert!(e.eval(&|_| 5));
         assert!(!e.eval(&|_| 6));
     }

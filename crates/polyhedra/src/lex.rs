@@ -9,7 +9,8 @@
 //! helpers return `Vec<System>`; a query holds iff any disjunct is
 //! feasible in context.
 
-use crate::{Constraint, LinExpr, System};
+use crate::error::Budget;
+use crate::{Constraint, LinExpr, System, Verdict};
 
 /// Per-dimension traversal direction for block orders.
 ///
@@ -90,6 +91,27 @@ pub fn any_feasible_with(disjuncts: &[System], context: &System) -> bool {
     disjuncts
         .iter()
         .any(|d| context.and(d).is_integer_feasible())
+}
+
+/// Three-valued form of [`any_feasible_with`] under an explicit
+/// [`Budget`]. `Yes` as soon as any disjunct is proven feasible; `No`
+/// only if *every* disjunct is proven infeasible; `Unknown` otherwise.
+/// Never panics — legality checks use this so an adversarial kernel
+/// degrades to a conservative rejection instead of aborting the search.
+pub fn try_any_feasible_with(disjuncts: &[System], context: &System, budget: &Budget) -> Verdict {
+    let mut unknown = false;
+    for d in disjuncts {
+        match context.and(d).decide(budget) {
+            Verdict::Yes => return Verdict::Yes,
+            Verdict::No => {}
+            Verdict::Unknown => unknown = true,
+        }
+    }
+    if unknown {
+        Verdict::Unknown
+    } else {
+        Verdict::No
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +200,19 @@ mod tests {
         let mut ctx2 = System::new();
         ctx2.add(Constraint::ge(LinExpr::var("b1"), LinExpr::constant(0)));
         assert!(any_feasible_with(&d, &ctx2));
+    }
+
+    #[test]
+    fn three_valued_feasibility_query() {
+        let a = exprs(&["a1"]);
+        let b = exprs(&["b1"]);
+        let d = lex_lt(&a, &b, &[]);
+        let budget = Budget::default();
+        let mut ctx = System::new();
+        ctx.add(Constraint::eq(LinExpr::var("a1"), LinExpr::var("b1")));
+        assert_eq!(try_any_feasible_with(&d, &ctx, &budget), Verdict::No);
+        let mut ctx2 = System::new();
+        ctx2.add(Constraint::ge(LinExpr::var("b1"), LinExpr::constant(0)));
+        assert_eq!(try_any_feasible_with(&d, &ctx2, &budget), Verdict::Yes);
     }
 }

@@ -49,7 +49,9 @@ mod constraint;
 mod expr;
 mod system;
 
+pub mod audit;
 pub mod cache;
+pub mod error;
 pub mod fm;
 pub mod lex;
 pub mod num;
@@ -58,6 +60,7 @@ pub mod simplify;
 
 pub use cache::PolyStats;
 pub use constraint::{Constraint, Rel};
+pub use error::{Budget, PolyError, Verdict};
 pub use expr::LinExpr;
 pub use system::System;
 
@@ -67,8 +70,35 @@ impl System {
     /// Verdicts are memoized on the system's canonical form (see
     /// [`cache`]); the underlying decision procedure is
     /// [`omega::is_integer_feasible`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the default [`Budget`] is exhausted or arithmetic
+    /// overflows even after `i128` promotion — conditions no in-repo
+    /// kernel reaches. Pipeline code that must survive adversarial
+    /// input uses [`System::decide`] or
+    /// [`System::try_is_integer_feasible`] instead.
     pub fn is_integer_feasible(&self) -> bool {
-        cache::feasible(self)
+        cache::try_feasible(self, &Budget::default())
+            .unwrap_or_else(|e| panic!("is_integer_feasible: {e} (use decide/try_is_integer_feasible for fallible queries)"))
+    }
+
+    /// Fallible integer feasibility under the default [`Budget`]:
+    /// `Ok(bool)` is a proven answer, `Err` reports exactly why the
+    /// solver gave up. Never panics.
+    pub fn try_is_integer_feasible(&self) -> Result<bool, PolyError> {
+        cache::try_feasible(self, &Budget::default())
+    }
+
+    /// Three-valued integer feasibility under an explicit [`Budget`].
+    /// Never panics; budget exhaustion and arithmetic overflow both
+    /// surface as [`Verdict::Unknown`] (and bump the `poly.unknown`
+    /// probe counter via [`PolyStats`]).
+    pub fn decide(&self, budget: &Budget) -> Verdict {
+        match cache::try_feasible(self, budget) {
+            Ok(b) => Verdict::proven(b),
+            Err(_) => Verdict::Unknown,
+        }
     }
 
     /// Find a concrete integer solution with all variables in
@@ -81,8 +111,24 @@ impl System {
     /// returns the projection and whether it is exact. Results are
     /// memoized (see [`cache`]); a hit is byte-identical to a fresh
     /// computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if projection overflows or exhausts the default
+    /// [`Budget`]; [`System::try_project_onto`] is the fallible form.
     pub fn project_onto(&self, keep: &[&str]) -> (System, bool) {
-        cache::project(self, keep)
+        cache::try_project(self, keep, &Budget::default()).unwrap_or_else(|e| {
+            panic!("project_onto: {e} (use try_project_onto for fallible projection)")
+        })
+    }
+
+    /// Fallible projection under an explicit [`Budget`]. Never panics.
+    pub fn try_project_onto(
+        &self,
+        keep: &[&str],
+        budget: &Budget,
+    ) -> Result<(System, bool), PolyError> {
+        cache::try_project(self, keep, budget)
     }
 
     /// Remove constraints implied by the others

@@ -5,8 +5,13 @@
 //! shackling are tiny (tens of variables, coefficients bounded by block
 //! sizes), so `i64` leaves an enormous safety margin; nevertheless every
 //! multiplication that combines user-supplied coefficients goes through
-//! [`checked_combine`] so that an overflow aborts loudly instead of
-//! producing a wrong legality verdict.
+//! a checked path. The fallible [`try_lcm`]/[`try_combine`] forms first
+//! **promote to `i128`** — where products of two `i64`s are always exact
+//! — and only report [`PolyError::Overflow`] when the reduced result
+//! genuinely does not fit back into `i64`; the legacy panicking names
+//! ([`lcm`], [`checked_combine`]) remain as thin wrappers.
+
+use crate::error::PolyError;
 
 /// Greatest common divisor of two integers (always non-negative).
 ///
@@ -42,15 +47,28 @@ pub fn gcd(a: i64, b: i64) -> i64 {
 /// assert_eq!(lcm(4, 6), 12);
 /// ```
 pub fn lcm(a: i64, b: i64) -> i64 {
+    try_lcm(a, b).expect("lcm overflow")
+}
+
+/// Least common multiple of two integers (always non-negative),
+/// computed in `i128` and narrowed.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::num::try_lcm;
+/// assert_eq!(try_lcm(4, 6), Ok(12));
+/// assert!(try_lcm(i64::MIN, 1).is_err());
+/// ```
+pub fn try_lcm(a: i64, b: i64) -> Result<i64, PolyError> {
     if a == 0 || b == 0 {
-        return 0;
+        return Ok(0);
     }
-    // checked_abs, not abs: the product can legitimately be i64::MIN
-    // (e.g. lcm(i64::MIN, 1)), whose absolute value does not fit.
-    (a / gcd(a, b))
-        .checked_mul(b)
-        .and_then(i64::checked_abs)
-        .expect("lcm overflow")
+    // The product of two i64s always fits in i128, so the promotion is
+    // exact; only the final narrowing can fail (e.g. lcm(i64::MIN, 1)
+    // is 2^63, one past i64::MAX).
+    let l = (a as i128 / gcd(a, b) as i128 * b as i128).unsigned_abs();
+    i64::try_from(l).map_err(|_| PolyError::Overflow { context: "lcm" })
 }
 
 /// GCD of a slice, ignoring zeros; returns 0 for an all-zero slice.
@@ -136,9 +154,61 @@ pub fn mod_hat(a: i64, m: i64) -> i64 {
 ///
 /// Panics on overflow.
 pub fn checked_combine(a: i64, b: i64, c: i64, d: i64) -> i64 {
-    a.checked_mul(b)
-        .and_then(|x| c.checked_mul(d).and_then(|y| x.checked_add(y)))
-        .expect("integer overflow combining constraints")
+    try_combine(a, b, c, d).expect("integer overflow combining constraints")
+}
+
+/// `a * b + c * d` promoted to `i128` (exact for any `i64` inputs) and
+/// narrowed back; errs only if the true value does not fit in `i64`.
+///
+/// Fourier–Motzkin callers prefer [`combine_i128`] and keep the wide
+/// value, so a whole combined row can be GCD-reduced before narrowing.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_polyhedra::num::try_combine;
+/// assert_eq!(try_combine(3, 4, 5, -2), Ok(2));
+/// assert!(try_combine(i64::MAX, 2, 0, 0).is_err());
+/// ```
+pub fn try_combine(a: i64, b: i64, c: i64, d: i64) -> Result<i64, PolyError> {
+    narrow(combine_i128(a, b, c, d), "combining constraints")
+}
+
+/// `a * b + c * d` in `i128`: exact for all `i64` inputs (each product
+/// is below `2^126`, so the sum cannot overflow `i128`).
+pub fn combine_i128(a: i64, b: i64, c: i64, d: i64) -> i128 {
+    a as i128 * b as i128 + c as i128 * d as i128
+}
+
+/// Narrow an exact `i128` value back to `i64`.
+pub fn narrow(v: i128, context: &'static str) -> Result<i64, PolyError> {
+    i64::try_from(v).map_err(|_| PolyError::Overflow { context })
+}
+
+/// GCD over `i128` (always non-negative; `gcd(0, 0) = 0`).
+pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i128
+}
+
+/// Floor division over `i128`: largest `q` with `q * b <= a`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn floor_div_i128(a: i128, b: i128) -> i128 {
+    assert!(b != 0, "floor_div by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +236,38 @@ mod tests {
         // |i64::MIN| does not fit in i64; before checked_abs this
         // wrapped to a negative value in release builds.
         lcm(i64::MIN, 1);
+    }
+
+    #[test]
+    fn try_forms_report_clean_errors() {
+        assert_eq!(
+            try_lcm(i64::MIN, 1),
+            Err(PolyError::Overflow { context: "lcm" })
+        );
+        assert_eq!(try_lcm(1 << 40, 1 << 41), Ok(1 << 41));
+        assert_eq!(
+            try_lcm(1 << 40, (1 << 40) + 1),
+            Err(PolyError::Overflow { context: "lcm" })
+        );
+        assert!(try_combine(i64::MAX, 3, i64::MAX, 3).is_err());
+        // exact in i128 even though both products overflow i64
+        assert_eq!(try_combine(i64::MAX, 2, i64::MAX, -2), Ok(0));
+    }
+
+    #[test]
+    fn i128_helpers_agree_with_i64_forms() {
+        for a in [-9i64, -3, 0, 4, 27] {
+            for b in [-6i64, -1, 2, 9] {
+                assert_eq!(gcd_i128(a as i128, b as i128), gcd(a, b) as i128);
+                if b != 0 {
+                    assert_eq!(
+                        floor_div_i128(a as i128, b as i128),
+                        floor_div(a, b) as i128
+                    );
+                }
+            }
+        }
+        assert_eq!(combine_i128(3, 4, 5, -2), 2);
     }
 
     #[test]

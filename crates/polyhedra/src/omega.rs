@@ -19,16 +19,26 @@
 //!    finitely many **splinters** that pin the variable near a lower
 //!    bound.
 
+use crate::error::{Budget, PolyError, Resource};
 use crate::fm::{bound_profile, eliminate, eliminate_tracked, elimination_exact, Shadow};
 use crate::num::mod_hat;
 use crate::system::Row;
 use crate::{Rel, System};
 
-/// Hard cap on recursion; the systems produced by shackling are tiny, so
-/// hitting this indicates a bug rather than a hard instance.
-const MAX_DEPTH: usize = 500;
+/// Per-query mutable state: the configured limits plus the splinter
+/// count consumed so far by this top-level query.
+struct Gas<'a> {
+    budget: &'a Budget,
+    splinters: u64,
+}
 
 /// Decide whether the system has an integer solution.
+///
+/// # Panics
+///
+/// Panics if the default [`Budget`] is exhausted or arithmetic
+/// overflows even after `i128` promotion; [`try_is_integer_feasible`]
+/// is the fallible form.
 ///
 /// # Examples
 ///
@@ -40,50 +50,87 @@ const MAX_DEPTH: usize = 500;
 /// assert!(!s.is_integer_feasible());
 /// ```
 pub fn is_integer_feasible(sys: &System) -> bool {
-    solve(sys.clone(), &mut 0, 0)
+    try_is_integer_feasible(sys, &Budget::default())
+        .unwrap_or_else(|e| panic!("omega::is_integer_feasible: {e}"))
+}
+
+/// Fallible (uncached) Omega test under an explicit [`Budget`].
+///
+/// `Ok(bool)` answers are *proven* — they are exact regardless of which
+/// budget produced them. `Err` means the budget ran out or a reduced
+/// row genuinely exceeded `i64`; the memoizing entry points surface
+/// that as [`crate::Verdict::Unknown`]. Never panics.
+pub fn try_is_integer_feasible(sys: &System, budget: &Budget) -> Result<bool, PolyError> {
+    let mut gas = Gas {
+        budget,
+        splinters: 0,
+    };
+    solve(sys.clone(), &mut 0, 0, &mut gas)
 }
 
 /// Recursion wrapper: memoize subproblem verdicts (shadows, splinters)
 /// in the shared feasibility cache. Distinct top-level queries converge
 /// to common subsystems after a few eliminations, so this is where the
 /// cache earns most of its hits. Depth 0 is already memoized by
-/// [`crate::cache::feasible`]; the whole path rides the engine flag.
-fn solve(sys: System, fresh: &mut u64, depth: usize) -> bool {
+/// [`crate::cache::try_feasible`]; the whole path rides the engine
+/// flag. Only proven (`Ok`) verdicts are stored — an `Err` propagates
+/// without touching the cache, so a failed query can never poison a
+/// later one with a different budget.
+fn solve(sys: System, fresh: &mut u64, depth: usize, gas: &mut Gas<'_>) -> Result<bool, PolyError> {
     if depth == 0 || !crate::cache::cache_enabled() {
-        return solve_inner(sys, fresh, depth);
+        return solve_inner(sys, fresh, depth, gas);
     }
     if sys.is_contradictory() {
-        return false;
+        return Ok(false);
     }
     if sys.rows().is_empty() {
-        return true;
+        return Ok(true);
     }
     let key = match crate::cache::sub_lookup(&sys) {
-        Ok(v) => return v,
+        Ok(v) => return Ok(v),
         Err(key) => key,
     };
-    let v = solve_inner(sys, fresh, depth);
+    let v = solve_inner(sys, fresh, depth, gas)?;
     crate::cache::sub_store(key, v);
-    v
+    Ok(v)
 }
 
-fn solve_inner(mut sys: System, fresh: &mut u64, depth: usize) -> bool {
-    assert!(depth < MAX_DEPTH, "omega test recursion exceeded");
+fn solve_inner(
+    mut sys: System,
+    fresh: &mut u64,
+    depth: usize,
+    gas: &mut Gas<'_>,
+) -> Result<bool, PolyError> {
+    if depth >= gas.budget.max_depth {
+        return Err(PolyError::Budget {
+            resource: Resource::Depth,
+            limit: gas.budget.max_depth as u64,
+        });
+    }
     // Phase 1: eliminate all equalities exactly.
     let mut guard = 0usize;
     loop {
         if sys.is_contradictory() {
-            return false;
+            return Ok(false);
         }
         guard += 1;
-        assert!(guard < 10_000, "equality elimination diverged");
+        if guard >= 10_000 {
+            // The symmetric-residue substitution shrinks coefficients
+            // geometrically, so this loop terminates for any correct
+            // input; treat divergence as depth exhaustion rather than
+            // aborting the process.
+            return Err(PolyError::Budget {
+                resource: Resource::Depth,
+                limit: 10_000,
+            });
+        }
         let Some((row_i, var_k)) = pick_equality(&sys) else {
             break;
         };
-        eliminate_equality(&mut sys, row_i, var_k, fresh);
+        eliminate_equality(&mut sys, row_i, var_k, fresh, gas.budget)?;
     }
     if sys.is_contradictory() {
-        return false;
+        return Ok(false);
     }
 
     // Phase 2: inequalities only.
@@ -92,15 +139,16 @@ fn solve_inner(mut sys: System, fresh: &mut u64, depth: usize) -> bool {
         .collect();
     if used.is_empty() {
         // push_row removes trivially-true rows and flags false ones
-        return !sys.is_contradictory();
+        return Ok(!sys.is_contradictory());
     }
 
     // Free elimination of variables unbounded on one side.
     for &i in &used {
         let (lo, hi) = bound_profile(&sys, i);
         if lo == 0 || hi == 0 {
-            let next = eliminate(&sys, i, Shadow::Real); // no pairs: just drops rows
-            return solve(next, fresh, depth + 1);
+            // no pairs: just drops rows
+            let next = eliminate(&sys, i, Shadow::Real, gas.budget)?;
+            return solve(next, fresh, depth + 1, gas);
         }
     }
 
@@ -123,33 +171,50 @@ fn solve_inner(mut sys: System, fresh: &mut u64, depth: usize) -> bool {
     // to the pre-memoization syntactic test so baseline measurements
     // exercise the old engine. Both tests are exactness proofs, so the
     // verdict is identical either way.
-    let (real, pairwise_exact) = eliminate_tracked(&sys, idx, Shadow::Real);
+    let (real, pairwise_exact) = eliminate_tracked(&sys, idx, Shadow::Real, gas.budget)?;
     let exact = if crate::cache::cache_enabled() {
         pairwise_exact
     } else {
         elimination_exact(&sys, idx)
     };
     if exact {
-        return solve(real, fresh, depth + 1);
+        return solve(real, fresh, depth + 1, gas);
     }
 
     // Inexact: real shadow necessary, dark shadow sufficient.
     crate::cache::note_dark_fallback();
-    if !solve(real, fresh, depth + 1) {
-        return false;
+    if !solve(real, fresh, depth + 1, gas)? {
+        return Ok(false);
     }
-    if solve(eliminate(&sys, idx, Shadow::Dark), fresh, depth + 1) {
-        return true;
+    if solve(
+        eliminate(&sys, idx, Shadow::Dark, gas.budget)?,
+        fresh,
+        depth + 1,
+        gas,
+    )? {
+        return Ok(true);
     }
 
     // Splinters: any integer solution must sit close to some lower bound.
-    let m = sys
-        .rows()
-        .iter()
-        .filter(|r| r.rel == Rel::Geq && r.coeffs[idx] < 0)
-        .map(|r| -r.coeffs[idx])
-        .max()
-        .expect("bounded variable must have upper bounds");
+    let mut m: Option<i64> = None;
+    for r in sys.rows() {
+        if r.rel == Rel::Geq && r.coeffs[idx] < 0 {
+            let v = r.coeffs[idx].checked_neg().ok_or(PolyError::Overflow {
+                context: "splinter modulus",
+            })?;
+            m = Some(m.map_or(v, |a| a.max(v)));
+        }
+    }
+    let Some(m) = m else {
+        // The chosen variable has lower bounds but no upper bounds.
+        // Variables picked for splintering normally have both (the free
+        // elimination above catches one-sided ones), but a one-sided
+        // system must take the free-elimination path — dropping the
+        // variable's rows is exact — never abort. (This was
+        // `expect("bounded variable must have upper bounds")`.)
+        let next = eliminate(&sys, idx, Shadow::Real, gas.budget)?;
+        return solve(next, fresh, depth + 1, gas);
+    };
     let lowers: Vec<Row> = sys
         .rows()
         .iter()
@@ -157,25 +222,40 @@ fn solve_inner(mut sys: System, fresh: &mut u64, depth: usize) -> bool {
         .cloned()
         .collect();
     for low in lowers {
-        let b = low.coeffs[idx];
-        // 0 <= i <= (m*b - m - b)/m  (floor)
-        let hi = (m * b - m - b).div_euclid(m);
-        let mut i = 0;
+        // 0 <= i <= (m*b - m - b)/m  (floor) — computed in i128 so huge
+        // lower-bound coefficients cannot overflow the bound itself
+        // (the splinter budget cuts long walks off first).
+        let b = low.coeffs[idx] as i128;
+        let m_wide = m as i128;
+        let hi = (m_wide * b - m_wide - b).div_euclid(m_wide);
+        let mut i: i128 = 0;
         while i <= hi {
+            gas.splinters += 1;
+            if gas.splinters > gas.budget.max_splinters {
+                return Err(PolyError::Budget {
+                    resource: Resource::Splinters,
+                    limit: gas.budget.max_splinters,
+                });
+            }
             // b*x + e >= 0 pinned to b*x + e = i  ⇔  b*x + e - i = 0
             crate::cache::note_splinter();
             let mut child = sys.clone();
             let mut eq = low.clone();
-            eq.constant -= i;
+            eq.constant = (eq.constant as i128)
+                .checked_sub(i)
+                .and_then(|c| i64::try_from(c).ok())
+                .ok_or(PolyError::Overflow {
+                    context: "splinter constant",
+                })?;
             eq.rel = Rel::Eq;
             child.push_row(eq);
-            if solve(child, fresh, depth + 1) {
-                return true;
+            if solve(child, fresh, depth + 1, gas)? {
+                return Ok(true);
             }
             i += 1;
         }
     }
-    false
+    Ok(false)
 }
 
 /// Find a concrete integer solution with every variable in
@@ -208,7 +288,7 @@ fn solve_inner(mut sys: System, fresh: &mut u64, depth: usize) -> bool {
 /// assert!(get("x") >= 5);
 /// ```
 pub fn find_point(sys: &System, bound: i64) -> Option<Vec<(String, i64)>> {
-    if !sys.is_integer_feasible() {
+    if sys.try_is_integer_feasible() != Ok(true) {
         return None;
     }
     let vars: Vec<String> = sys.vars().to_vec();
@@ -220,8 +300,12 @@ pub fn find_point(sys: &System, bound: i64) -> Option<Vec<(String, i64)>> {
         let mut candidates: Vec<i64> = (0..=bound).flat_map(|k| [k, -k]).collect();
         candidates.dedup();
         for val in candidates {
-            let probe = current.substitute(v, &crate::LinExpr::constant(val));
-            if probe.is_integer_feasible() {
+            // witness extraction is best-effort: a substitution overflow
+            // or a solver refusal just disqualifies this candidate
+            let Ok(probe) = current.try_substitute(v, &crate::LinExpr::constant(val)) else {
+                continue;
+            };
+            if probe.try_is_integer_feasible() == Ok(true) {
                 fixed = Some((val, probe));
                 break;
             }
@@ -270,51 +354,66 @@ fn pick_equality(sys: &System) -> Option<(usize, usize)> {
 /// substituted away. Otherwise a fresh variable `σ` is introduced via the
 /// symmetric-residue trick, which strictly shrinks coefficients; the loop
 /// in [`solve`] then retries.
-fn eliminate_equality(sys: &mut System, row_i: usize, var_k: usize, fresh: &mut u64) {
+fn eliminate_equality(
+    sys: &mut System,
+    row_i: usize,
+    var_k: usize,
+    fresh: &mut u64,
+    budget: &Budget,
+) -> Result<(), PolyError> {
+    const OVF: PolyError = PolyError::Overflow {
+        context: "equality elimination",
+    };
     let row = sys.rows()[row_i].clone();
     debug_assert_eq!(row.rel, Rel::Eq);
     let ak = row.coeffs[var_k];
     debug_assert_ne!(ak, 0);
+    let ak_abs = ak.checked_abs().ok_or(OVF)?;
 
     // Dense substitution (rides the engine flag): same rows in the same
     // order as the sparse path below, minus the string-keyed round trip
     // through `LinExpr` — the dominant constant factor of the solver.
     if crate::cache::cache_enabled() {
-        if ak.abs() == 1 {
+        if ak_abs == 1 {
             // x_k = -sign(ak) * (rest)
-            let repl: Vec<i64> = row
-                .coeffs
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| if i == var_k { 0 } else { -ak * c })
-                .collect();
-            *sys = sys.substitute_col(var_k, &repl, -ak * row.constant, None);
-            return;
+            let mut repl = Vec::with_capacity(row.coeffs.len());
+            for (i, &c) in row.coeffs.iter().enumerate() {
+                repl.push(if i == var_k {
+                    0
+                } else {
+                    c.checked_mul(-ak).ok_or(OVF)?
+                });
+            }
+            let repl_const = row.constant.checked_mul(-ak).ok_or(OVF)?;
+            *sys = sys.try_substitute_col(var_k, &repl, repl_const, None, budget.max_coeff)?;
+            return Ok(());
         }
-        let m = ak.abs() + 1;
+        let m = ak_abs.checked_add(1).ok_or(OVF)?;
         let sign = ak.signum();
         *fresh += 1;
         let sigma = format!("omega$sigma{fresh}");
         debug_assert_eq!(mod_hat(ak, m), -sign);
         // x_k = sign * ( Σ_{i≠k} mod̂(a_i,m)·x_i + mod̂(c,m) − m·sigma )
+        // mod̂ values lie in (-m/2, m/2], so sign*mod̂ never overflows.
         let repl: Vec<i64> = row
             .coeffs
             .iter()
             .enumerate()
             .map(|(i, &c)| if i == var_k { 0 } else { sign * mod_hat(c, m) })
             .collect();
-        *sys = sys.substitute_col(
+        *sys = sys.try_substitute_col(
             var_k,
             &repl,
             sign * mod_hat(row.constant, m),
             Some((&sigma, -sign * m)),
-        );
-        return;
+            budget.max_coeff,
+        )?;
+        return Ok(());
     }
 
     let name_k = sys.vars()[var_k].to_string();
 
-    if ak.abs() == 1 {
+    if ak_abs == 1 {
         // x_k = -sign(ak) * (rest)
         let mut e = crate::LinExpr::constant(row.constant);
         for (i, &c) in row.coeffs.iter().enumerate() {
@@ -322,13 +421,13 @@ fn eliminate_equality(sys: &mut System, row_i: usize, var_k: usize, fresh: &mut 
                 e.add_term(&sys.vars()[i], c);
             }
         }
-        let replacement = e * (-ak);
-        let mut next = sys.substitute(&name_k, &replacement);
+        let replacement = e.try_scale(-ak).map_err(|_| OVF)?;
+        let mut next = sys.try_substitute(&name_k, &replacement).map_err(|_| OVF)?;
         if let Some(i) = next.var_index(&name_k) {
             next.drop_var_column(i);
         }
         *sys = next;
-        return;
+        return Ok(());
     }
 
     // m = |a_k| + 1; introduce sigma with
@@ -336,7 +435,7 @@ fn eliminate_equality(sys: &mut System, row_i: usize, var_k: usize, fresh: &mut 
     // and substitute
     //   x_k = -sign(a_k)·m·sigma + sign(a_k)·( Σ_{i≠k} mod̂(a_i,m)·x_i + mod̂(c,m) )
     // (using mod̂(a_k, m) = -sign(a_k)).
-    let m = ak.abs() + 1;
+    let m = ak_abs.checked_add(1).ok_or(OVF)?;
     let sign = ak.signum();
     *fresh += 1;
     let sigma = format!("omega$sigma{fresh}");
@@ -349,14 +448,16 @@ fn eliminate_equality(sys: &mut System, row_i: usize, var_k: usize, fresh: &mut 
     }
     debug_assert_eq!(mod_hat(ak, m), -sign);
     // x_k = sign * ( rhs - m*sigma )
-    let replacement = (rhs - crate::LinExpr::term(&sigma, m)) * sign;
+    let replacement = (rhs - crate::LinExpr::term(&sigma, m))
+        .try_scale(sign)
+        .map_err(|_| OVF)?;
 
-    let next = sys.substitute(&name_k, &replacement);
-    let mut next = next;
+    let mut next = sys.try_substitute(&name_k, &replacement).map_err(|_| OVF)?;
     if let Some(i) = next.var_index(&name_k) {
         next.drop_var_column(i);
     }
     *sys = next;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -391,6 +492,40 @@ mod tests {
         let mut s = System::new();
         s.add(Constraint::eq(v("x") * 2, c(1)));
         assert!(!is_integer_feasible(&s));
+    }
+
+    #[test]
+    fn one_sided_lower_bounds_take_the_free_elimination_path() {
+        // Regression: a variable with lower bounds but no upper bounds
+        // must be eliminated freely (dropping its rows is exact). An
+        // earlier version reached the splinter chooser for such systems
+        // and aborted on `expect("bounded variable must have upper
+        // bounds")`. Coprime multi-digit coefficients keep the bounds
+        // non-trivial so simplification cannot discharge them early.
+        let mut s = System::new();
+        s.add(Constraint::ge(v("x") * 3, v("y") * 2 + c(5)));
+        s.add(Constraint::ge(v("x") * 7, v("y") * 5 - c(1)));
+        s.add(Constraint::ge(v("y"), c(0)));
+        s.add(Constraint::le(v("y"), c(10)));
+        assert_eq!(try_is_integer_feasible(&s, &Budget::default()), Ok(true));
+
+        // and with the surrounding box empty, the verdict flips without
+        // the one-sided variable getting in the way
+        s.add(Constraint::ge(v("y"), c(11)));
+        assert_eq!(try_is_integer_feasible(&s, &Budget::default()), Ok(false));
+    }
+
+    #[test]
+    fn one_sided_huge_coefficients_do_not_panic() {
+        // The same shape at 2^40 scale: the free elimination must not
+        // combine bound pairs, so no coefficient product is ever formed
+        // and the verdict is proven, not refused.
+        let mut s = System::new();
+        s.add(Constraint::ge(v("x") * (1 << 40), v("y") * ((1 << 40) + 1)));
+        s.add(Constraint::ge(v("x") * ((1 << 41) + 5), c(7)));
+        s.add(Constraint::ge(v("y"), c(1)));
+        s.add(Constraint::le(v("y"), c(100)));
+        assert_eq!(try_is_integer_feasible(&s, &Budget::default()), Ok(true));
     }
 
     #[test]

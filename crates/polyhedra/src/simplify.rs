@@ -2,13 +2,19 @@
 //! paper delegates to the Omega calculator (§4.1: "the conditionals …
 //! can be simplified using any polyhedral algebra tool").
 
-use crate::{Constraint, System};
+use crate::error::Budget;
+use crate::{Constraint, System, Verdict};
 
 /// Is constraint `c` implied by `sys` (over the integers)?
 ///
-/// Decided exactly: `sys ⊨ c` iff `sys ∧ ¬c` has no integer solution
-/// (the negation of an equality is a disjunction, so both branches must
-/// be infeasible).
+/// Decided exactly when the budget holds: `sys ⊨ c` iff `sys ∧ ¬c` has
+/// no integer solution (the negation of an equality is a disjunction,
+/// so both branches must be infeasible). A branch the solver cannot
+/// decide within the default [`Budget`] yields `false` — "not proven
+/// implied" — which is the sound direction for every caller in this
+/// crate (an unproven implication keeps a constraint rather than
+/// dropping it). Use [`try_implies`] to distinguish a proven `No` from
+/// an `Unknown`.
 ///
 /// # Examples
 ///
@@ -21,17 +27,36 @@ use crate::{Constraint, System};
 /// assert!(!implies(&s, &Constraint::ge(LinExpr::var("x"), LinExpr::constant(6))));
 /// ```
 pub fn implies(sys: &System, c: &Constraint) -> bool {
+    try_implies(sys, c, &Budget::default()) == Verdict::Yes
+}
+
+/// Three-valued implication test under an explicit [`Budget`].
+///
+/// `Yes`/`No` are proven; `Unknown` means some branch of `sys ∧ ¬c`
+/// exhausted the budget before being proven infeasible (while no branch
+/// was proven feasible). Never panics.
+pub fn try_implies(sys: &System, c: &Constraint, budget: &Budget) -> Verdict {
     // Fast path (rides the engine flag, like the rest of the memoized
     // query machinery): a single stored row syntactically dominating
     // `c` proves the implication without an Omega query.
     if crate::cache::cache_enabled() && (sys.dominates(c) || sys.dominates_pair(c)) {
-        return true;
+        return Verdict::Yes;
     }
-    c.negate().iter().all(|branch| {
+    let mut unknown = false;
+    for branch in c.negate() {
         let mut probe = sys.clone();
-        probe.add(branch.clone());
-        !probe.is_integer_feasible()
-    })
+        probe.add(branch);
+        match crate::cache::try_feasible(&probe, budget) {
+            Ok(true) => return Verdict::No,
+            Ok(false) => {}
+            Err(_) => unknown = true,
+        }
+    }
+    if unknown {
+        Verdict::Unknown
+    } else {
+        Verdict::Yes
+    }
 }
 
 /// Remove constraints that are implied by the remaining ones.
@@ -40,9 +65,11 @@ pub fn implies(sys: &System, c: &Constraint) -> bool {
 /// insertion order so that "earlier" constraints (typically loop bounds)
 /// survive in preference to derived ones.
 pub fn remove_redundant(sys: &System) -> System {
-    if sys.is_contradictory() || !sys.is_integer_feasible() {
+    if sys.is_contradictory() || crate::cache::try_feasible(sys, &Budget::default()) == Ok(false) {
         // an infeasible system must stay infeasible: the greedy loop
-        // below would otherwise vacuously drop every constraint
+        // below would otherwise vacuously drop every constraint.
+        // (An `Unknown` feasibility falls through: the loop only drops
+        // constraints whose implication is *proven*, which is sound.)
         return contradiction_like(sys);
     }
     let mut cons = sys.constraints();
@@ -97,8 +124,9 @@ fn contradiction_like(sys: &System) -> System {
 /// assert_eq!(g.constraints().len(), 1);
 /// ```
 pub fn gist(sys: &System, context: &System) -> System {
-    if !sys.and(context).is_integer_feasible() {
-        // `g ∧ context` must stay empty; return a canonical false
+    if crate::cache::try_feasible(&sys.and(context), &Budget::default()) == Ok(false) {
+        // `g ∧ context` must stay empty; return a canonical false.
+        // `Unknown` falls through, like in [`remove_redundant`].
         return contradiction_like(sys);
     }
     if crate::cache::cache_enabled() {

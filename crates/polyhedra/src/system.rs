@@ -1,6 +1,7 @@
 //! Conjunctions of affine constraints over named integer variables.
 
-use crate::num::{floor_div, gcd_slice};
+use crate::error::{PolyError, Resource};
+use crate::num::{floor_div, floor_div_i128, gcd_i128, gcd_slice, narrow};
 use crate::{Constraint, LinExpr, Rel};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -30,6 +31,71 @@ impl Row {
                 Rel::Geq => self.constant < 0,
             }
     }
+}
+
+/// Outcome of narrowing an exact `i128` row back to `i64`.
+pub(crate) enum NarrowedRow {
+    /// A representable row (GCD-reduced).
+    Row(Row),
+    /// The row is trivially satisfied and can be dropped.
+    True,
+    /// The row is a contradiction (the whole system is infeasible).
+    False,
+}
+
+/// Reduce an exact `i128` row by its coefficient GCD (integer-tightening
+/// the constant for `Geq`, detecting divisibility contradictions for
+/// `Eq`) and narrow it to `i64`. This is the "promote to i128, reduce,
+/// retry" half of the fallible arithmetic path: a row only yields
+/// [`PolyError::Overflow`] if its *reduced* form genuinely does not fit.
+pub(crate) fn narrow_row(
+    coeffs: &[i128],
+    constant: i128,
+    rel: Rel,
+    max_coeff: i64,
+) -> Result<NarrowedRow, PolyError> {
+    if coeffs.iter().all(|&c| c == 0) {
+        let sat = match rel {
+            Rel::Eq => constant == 0,
+            Rel::Geq => constant >= 0,
+        };
+        return Ok(if sat {
+            NarrowedRow::True
+        } else {
+            NarrowedRow::False
+        });
+    }
+    let g = coeffs.iter().fold(0i128, |g, &c| gcd_i128(g, c));
+    debug_assert!(g > 0);
+    let constant = match rel {
+        Rel::Eq => {
+            if constant % g != 0 {
+                return Ok(NarrowedRow::False);
+            }
+            constant / g
+        }
+        Rel::Geq => floor_div_i128(constant, g),
+    };
+    let ceiling = |v: i64| -> Result<i64, PolyError> {
+        if v.unsigned_abs() > max_coeff.unsigned_abs() {
+            Err(PolyError::Budget {
+                resource: Resource::Coefficient,
+                limit: max_coeff.unsigned_abs(),
+            })
+        } else {
+            Ok(v)
+        }
+    };
+    let mut out = Vec::with_capacity(coeffs.len());
+    for &c in coeffs {
+        out.push(ceiling(narrow(c / g, "row coefficient")?)?);
+    }
+    let constant = ceiling(narrow(constant, "row constant")?)?;
+    Ok(NarrowedRow::Row(Row {
+        coeffs: out,
+        constant,
+        rel,
+    }))
 }
 
 /// A conjunction of affine constraints — an integer polyhedron.
@@ -627,6 +693,33 @@ impl System {
         out
     }
 
+    /// Fallible [`Self::substitute`]: the string-keyed (sparse) variant
+    /// used by the engine-off Omega baseline, with every coefficient
+    /// product overflow-checked.
+    pub fn try_substitute(
+        &self,
+        name: &str,
+        replacement: &LinExpr,
+    ) -> Result<System, crate::error::PolyError> {
+        let mut out = System::new();
+        for v in self.vars.iter() {
+            if v != name {
+                out.ensure_var(v);
+            }
+        }
+        for v in replacement.vars() {
+            out.ensure_var(v);
+        }
+        if self.contradiction {
+            out.contradiction = true;
+            return Ok(out);
+        }
+        for c in self.constraints() {
+            out.add(c.try_substitute(name, replacement)?);
+        }
+        Ok(out)
+    }
+
     /// Dense variable substitution used by the Omega test's equality
     /// elimination: rebuild the system with column `k` replaced by the
     /// affine form `repl · vars + repl_const` (where `repl` is indexed
@@ -635,13 +728,19 @@ impl System {
     /// values, row order and variable order are exactly those of the
     /// sparse path `self.substitute(...)` + column drop, so the two are
     /// interchangeable; this one skips the string-keyed round trip.
-    pub(crate) fn substitute_col(
+    ///
+    /// Every row is computed exactly in `i128` and narrowed via
+    /// [`narrow_row`], so substitution never wraps or panics: rows whose
+    /// reduced form exceeds `i64` (or `max_coeff`) surface a
+    /// [`PolyError`].
+    pub(crate) fn try_substitute_col(
         &self,
         k: usize,
         repl: &[i64],
         repl_const: i64,
         extra: Option<(&str, i64)>,
-    ) -> System {
+        max_coeff: i64,
+    ) -> Result<System, PolyError> {
         let mut names: Vec<String> = Vec::with_capacity(self.vars.len() + 1);
         for (i, v) in self.vars.iter().enumerate() {
             if i != k {
@@ -654,27 +753,31 @@ impl System {
         let mut out = System::with_vars_arc(Arc::new(names));
         if self.contradiction {
             out.contradiction = true;
-            return out;
+            return Ok(out);
         }
         let n = out.vars.len();
         for r in &self.rows {
-            let c = r.coeffs[k];
-            let mut coeffs = Vec::with_capacity(n);
+            let c = r.coeffs[k] as i128;
+            let mut coeffs: Vec<i128> = Vec::with_capacity(n);
             for (i, &a) in r.coeffs.iter().enumerate() {
                 if i != k {
-                    coeffs.push(a + c * repl[i]);
+                    coeffs.push(a as i128 + c * repl[i] as i128);
                 }
             }
             if let Some((_, ec)) = extra {
-                coeffs.push(c * ec);
+                coeffs.push(c * ec as i128);
             }
-            out.push_row(Row {
-                coeffs,
-                constant: r.constant + c * repl_const,
-                rel: r.rel,
-            });
+            let constant = r.constant as i128 + c * repl_const as i128;
+            match narrow_row(&coeffs, constant, r.rel, max_coeff)? {
+                NarrowedRow::Row(row) => out.push_row(row),
+                NarrowedRow::True => {}
+                NarrowedRow::False => {
+                    out.contradiction = true;
+                    return Ok(out);
+                }
+            }
         }
-        out
+        Ok(out)
     }
 
     /// The variables that actually occur with non-zero coefficient.

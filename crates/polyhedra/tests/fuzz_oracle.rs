@@ -1,0 +1,97 @@
+//! The in-tree slice of the differential fuzz oracle: a moderate audit
+//! runs on every `cargo test`, the full-size sweep lives in the
+//! `poly_audit` bench binary (CI runs it with `--quick`, ≥ 10 000
+//! systems). Everything here must hold with *zero* mismatches — a
+//! panic inside the solver fails the harness by itself, which is
+//! exactly the assertion.
+
+use shackle_polyhedra::audit::{gen_case, overflow_corpus, run, AuditConfig, Expectation, Rng};
+use shackle_polyhedra::{Budget, PolyError, Verdict};
+
+#[test]
+fn audit_holds_on_default_and_strict_budgets() {
+    let cfg = AuditConfig {
+        systems: 1_500,
+        seed: 0xfeed_beef,
+        strict_pass: true,
+        check_simplify: true,
+    };
+    let rep = run(&cfg);
+    assert!(rep.ok(), "oracle mismatches: {:#?}", rep.mismatches);
+    assert_eq!(rep.systems, 1_500);
+    // the generator must exercise both verdicts, not collapse to one
+    assert!(rep.feasible > 100, "feasible: {}", rep.feasible);
+    assert!(rep.infeasible > 100, "infeasible: {}", rep.infeasible);
+    assert!(rep.simplify_checked > 100);
+}
+
+#[test]
+fn audit_is_deterministic_in_the_seed() {
+    let cfg = AuditConfig {
+        systems: 300,
+        seed: 7,
+        strict_pass: false,
+        check_simplify: false,
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.feasible, b.feasible);
+    assert_eq!(a.infeasible, b.infeasible);
+    assert_eq!(a.unknown, b.unknown);
+}
+
+#[test]
+fn corpus_rescues_and_refusals_are_pinned() {
+    // Beyond `run`'s pass/fail: pin the *mechanism*. Promotion cases
+    // must be proven (Ok), the substitution-overflow case must refuse
+    // with `PolyError::Overflow`, and nothing may panic.
+    for case in overflow_corpus() {
+        let got = case.system.try_is_integer_feasible();
+        match case.expect {
+            Expectation::Proven(want) => {
+                assert_eq!(got, Ok(want), "corpus `{}`", case.name);
+            }
+            Expectation::CleanError => {
+                assert!(
+                    matches!(got, Err(PolyError::Overflow { .. })),
+                    "corpus `{}`: expected overflow refusal, got {:?}",
+                    case.name,
+                    got
+                );
+                // and the refusal surfaces as Unknown, not a panic
+                assert_eq!(case.system.decide(&Budget::default()), Verdict::Unknown);
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_is_never_a_wrong_answer_under_a_hostile_budget() {
+    // Decide 500 random systems under an absurdly small budget: every
+    // proven verdict must still match ground truth; refusals are fine.
+    let mut rng = Rng::new(0xabad_1dea);
+    let tiny = Budget {
+        max_rows: 8,
+        max_depth: 2,
+        max_splinters: 1,
+        max_coeff: 1 << 16,
+    };
+    let mut proven = 0u32;
+    for i in 0..500 {
+        let case = gen_case(&mut rng, i % 2 == 0);
+        match case.system.decide(&tiny) {
+            Verdict::Unknown => {}
+            v => {
+                proven += 1;
+                assert_eq!(
+                    v.known(),
+                    Some(case.ground_truth()),
+                    "tiny-budget misproof on {}",
+                    case.system
+                );
+            }
+        }
+    }
+    // the tiny budget still proves plenty of easy systems
+    assert!(proven > 50, "proven under tiny budget: {proven}");
+}
