@@ -1,0 +1,60 @@
+//! `modelperf` — the analytical-model validation sweep.
+//!
+//! Runs `shackle_bench::modelperf::run` over every in-repo kernel:
+//! ranks a dense candidate grid with the `shackle-model` predictor,
+//! re-scores the top-K survivors exactly, compares against a
+//! simulate-everything baseline, and writes `BENCH_model.json`.
+//!
+//! Flags:
+//!
+//! * `--quick`        — 3-width grid, one timing run, relaxed speedup
+//!   floor (the CI smoke configuration)
+//! * `--top-k K`      — exact-rescore survivor count (default 8)
+//! * `--runs R`       — timing repetitions per speedup row (default 5)
+//! * `--widths 4,8,…` — override the block-width sweep for all kernels
+//! * `--kernels a,b`  — restrict to the named kernels
+
+use shackle_bench::modelperf::{run, SweepOptions};
+
+fn main() {
+    let mut opts = SweepOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => {
+                opts.quick = true;
+                opts.runs = 1;
+            }
+            "--top-k" => {
+                opts.top_k = value("--top-k").parse().expect("--top-k: not a number");
+            }
+            "--runs" => {
+                opts.runs = value("--runs").parse().expect("--runs: not a number");
+            }
+            "--widths" => {
+                opts.widths = Some(
+                    value("--widths")
+                        .split(',')
+                        .map(|w| w.trim().parse().expect("--widths: not a number"))
+                        .collect(),
+                );
+            }
+            "--kernels" => {
+                opts.kernels = Some(
+                    value("--kernels")
+                        .split(',')
+                        .map(|k| k.trim().to_string())
+                        .collect(),
+                );
+            }
+            other => {
+                panic!("unknown flag {other}; known: --quick --top-k --runs --widths --kernels")
+            }
+        }
+    }
+    run(&opts);
+}

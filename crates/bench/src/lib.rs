@@ -31,6 +31,7 @@ use std::collections::BTreeMap;
 pub use shackle_core::par;
 
 pub mod memsweep;
+pub mod modelperf;
 pub mod prelude;
 pub mod report;
 pub mod searchperf;

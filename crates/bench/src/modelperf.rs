@@ -1,0 +1,539 @@
+//! The model-vs-simulate sweep: validates the `shackle-model`
+//! analytical predictor against exact simulation on a dense candidate
+//! grid for every in-repo kernel, and measures the two-phase search
+//! speedup.
+//!
+//! For each kernel the harness builds a grid of shackle products —
+//! every legal shape ([`shackle_core::search::grid_shapes`], plus the
+//! hand-built QR and ADI shackles the automatic enumeration cannot
+//! reach, plus two-level self-products) crossed with a per-factor block
+//! width sweep ([`shackle_core::search::width_grid`]) — then:
+//!
+//! 1. runs the two-phase search (`two_phase`: analytical rank of the
+//!    whole grid, exact probe-cache rescore of the top-K survivors),
+//!    timed over [`Timing::measure`] repetitions;
+//! 2. runs the pre-model pipeline — simulate *every* candidate — on the
+//!    same grid, same parallelism, timed the same way;
+//! 3. checks ranking accuracy (the simulated winner's rank in the model
+//!    ordering, overlap of the model and simulator top-K sets) and
+//!    per-candidate miss-count error against the ground truth;
+//! 4. asserts the simulated winner lands inside the model's top-K, that
+//!    the winner is exactly legal at its swept widths (the grid assumes
+//!    width-independence of legality; this is the backstop), and that
+//!    the two-phase search clears the speedup floor.
+//!
+//! `BENCH_model.json` records all of it. The `modelperf` binary drives
+//! this module; `perf_report --quick` embeds the quick variant.
+
+use crate::report::{assert_speedup, BenchReport, Timing};
+use crate::searchperf::PROBE_CACHE;
+use shackle_core::search::{grid_shapes, reblock, two_phase, width_grid, SearchConfig};
+use shackle_core::{check_legality, par, scan, Shackle};
+use shackle_ir::{kernels, Program};
+use shackle_kernels::trace::trace_execution;
+use shackle_kernels::{gen, shackles};
+use shackle_memsim::ground_truth;
+use shackle_model::{predict, KernelGeometry};
+use std::collections::BTreeMap;
+
+/// Memory latency behind [`PROBE_CACHE`], matching the searchperf
+/// scoring accounting.
+pub const PROBE_MEM_LATENCY: u64 = 60;
+
+/// Options for one sweep run.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Quick mode: a 3-width grid and one timing repetition — the CI
+    /// smoke configuration (relaxed speedup floor).
+    pub quick: bool,
+    /// Survivors re-scored with the exact simulator.
+    pub top_k: usize,
+    /// Timing repetitions for the speedup rows.
+    pub runs: usize,
+    /// Override the block-width sweep (applies to every kernel).
+    pub widths: Option<Vec<i64>>,
+    /// Restrict to kernels whose name is in the list.
+    pub kernels: Option<Vec<String>>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            top_k: 8,
+            runs: 5,
+            widths: None,
+            kernels: None,
+        }
+    }
+}
+
+/// A boxed workspace initializer (`(array name, indices) -> value`).
+pub type InitFn = Box<dyn Fn(&str, &[usize]) -> f64 + Sync>;
+
+/// One kernel's sweep specification: the program, the probe size, the
+/// workspace initializer, the product shapes (legal at their pivot
+/// widths) and the width sweep.
+pub struct SweepSpec {
+    /// Kernel name (matches ROADMAP/EXPERIMENTS naming).
+    pub name: &'static str,
+    /// The input program.
+    pub program: Program,
+    /// Problem size scored on the probe cache.
+    pub probe_n: i64,
+    /// Workspace initializer.
+    pub init: InitFn,
+    /// Product shapes; widths are pivots, re-swept by the grid.
+    pub shapes: Vec<Vec<Shackle>>,
+    /// Block widths swept per factor (full cross product).
+    pub widths: Vec<i64>,
+}
+
+/// The sweep result for one kernel.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Probe problem size.
+    pub probe_n: i64,
+    /// Product shapes in the grid.
+    pub shapes: usize,
+    /// Grid candidates ranked analytically.
+    pub candidates: usize,
+    /// Survivors re-scored exactly.
+    pub top_k: usize,
+    /// Two-phase winner (grid index).
+    pub model_winner: usize,
+    /// Simulate-everything winner (grid index).
+    pub sim_winner: usize,
+    /// The simulated winner's rank in the model ordering (0 = model's
+    /// first choice).
+    pub sim_winner_model_rank: usize,
+    /// Model top-K candidates that are also in the simulator's top-K.
+    pub topk_overlap: usize,
+    /// Exact probe cycles of the two-phase winner.
+    pub winner_cycles: u64,
+    /// Exact probe cycles of the simulate-everything winner.
+    pub sim_winner_cycles: u64,
+    /// Two-phase wall clock.
+    pub two_phase: Timing,
+    /// Simulate-every-candidate wall clock.
+    pub simulate_all: Timing,
+    /// `simulate_all.mean / two_phase.mean`.
+    pub speedup: f64,
+    /// Mean relative miss-count error of the model over the grid
+    /// (`|pred - sim| / max(sim, 1)`).
+    pub miss_err_mean: f64,
+    /// Maximum relative miss-count error over the grid.
+    pub miss_err_max: f64,
+}
+
+/// Block widths for a dense sweep at probe size `n`: powers of two and
+/// their midpoints up to `n`, clipped (at least two widths).
+fn dense_widths(n: i64) -> Vec<i64> {
+    let all = [2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64];
+    all.iter().copied().filter(|&w| w <= n).collect()
+}
+
+/// A contiguous width range for single-factor kernels, where the grid
+/// is quadratic in the width count only through two-level products.
+///
+/// The triangular kernels floor the range at 4: widths 2–3 put whole
+/// blocks inside a fraction of one cache line (16 doubles), where the
+/// simulator rewards line sharing across adjacent windows — below the
+/// line granularity the model deliberately resolves (DESIGN.md
+/// §"Analytical cost model"). Their ceiling stays ≲ N/5 so blocks are
+/// not mostly guard-clipped (same section).
+fn range_widths(lo: i64, hi: i64) -> Vec<i64> {
+    (lo..=hi).collect()
+}
+
+/// The per-kernel sweep specifications. `opts.widths` overrides every
+/// width list; quick mode shrinks them to three values.
+pub fn specs(opts: &SweepOptions) -> Vec<SweepSpec> {
+    let widths = |full: Vec<i64>| -> Vec<i64> {
+        if let Some(w) = &opts.widths {
+            return w.clone();
+        }
+        if opts.quick {
+            vec![4, 8, 16]
+        } else {
+            full
+        }
+    };
+    let auto_shapes = |p: &Program, pivot: i64| {
+        grid_shapes(
+            p,
+            &SearchConfig {
+                width: pivot,
+                ..Default::default()
+            },
+        )
+    };
+    // two-level self-product of a single-factor shape (the §6.3
+    // multi-level construction); kept only if exactly legal at the
+    // pivot widths
+    let two_level = |p: &Program, f: &[Shackle]| -> Option<Vec<Shackle>> {
+        let mut s = f.to_vec();
+        s.extend(reblock(p, f, &vec![4; f.len()]));
+        check_legality(p, &s).is_legal().then_some(s)
+    };
+
+    let mut out = Vec::new();
+
+    let mm = kernels::matmul_ijk();
+    out.push(SweepSpec {
+        name: "matmul_ijk",
+        shapes: auto_shapes(&mm, 8),
+        program: mm,
+        probe_n: 48,
+        init: Box::new(|_, _| 1.0),
+        widths: widths(dense_widths(48)),
+    });
+
+    let chol = kernels::cholesky_right();
+    out.push(SweepSpec {
+        name: "cholesky_right",
+        shapes: auto_shapes(&chol, 16),
+        program: chol,
+        probe_n: 80,
+        init: Box::new(gen::spd_ws_init("A", 80, 3)),
+        widths: widths(range_widths(4, 16)),
+    });
+
+    let choll = kernels::cholesky_left();
+    out.push(SweepSpec {
+        name: "cholesky_left",
+        shapes: auto_shapes(&choll, 16),
+        program: choll,
+        probe_n: 80,
+        init: Box::new(gen::spd_ws_init("A", 80, 3)),
+        widths: widths(range_widths(4, 16)),
+    });
+
+    let gauss = kernels::gauss();
+    out.push(SweepSpec {
+        name: "gauss",
+        shapes: auto_shapes(&gauss, 16),
+        program: gauss,
+        probe_n: 80,
+        init: Box::new(gen::spd_ws_init("A", 80, 5)),
+        widths: widths(range_widths(4, 16)),
+    });
+
+    // QR and ADI need hand-built shackles (dummy references / fused
+    // statements are beyond the automatic enumeration), single cut
+    // factors: the width sweep is linear, so the grid goes dense
+    // through a contiguous width range and the two-level self-product.
+    let qr = kernels::qr_householder();
+    let qr1 = shackles::qr_columns(&qr, 8);
+    let mut qr_shapes = vec![qr1.clone()];
+    qr_shapes.extend(two_level(&qr, &qr1));
+    out.push(SweepSpec {
+        name: "qr_householder",
+        shapes: qr_shapes,
+        program: qr,
+        probe_n: 36,
+        init: Box::new(shackle_exec::verify::hash_init(3)),
+        widths: widths(range_widths(2, 34)),
+    });
+
+    let adi = kernels::adi();
+    let adi1 = reblock(&adi, &shackles::adi_storage_order(&adi), &[8]);
+    let mut adi_shapes = vec![adi1.clone()];
+    adi_shapes.extend(two_level(&adi, &adi1));
+    out.push(SweepSpec {
+        name: "adi",
+        shapes: adi_shapes,
+        program: adi,
+        probe_n: 64,
+        init: Box::new(|name, idx| {
+            if name == "B" {
+                2.0 + (idx[0] % 7) as f64
+            } else {
+                (idx[0] % 5) as f64
+            }
+        }),
+        widths: widths(range_widths(2, 34)),
+    });
+
+    if let Some(filter) = &opts.kernels {
+        out.retain(|s| filter.iter().any(|k| k == s.name));
+    }
+    out
+}
+
+/// Run one kernel's sweep (see the module docs for the four stages).
+///
+/// # Panics
+///
+/// Panics if the simulated winner falls outside the model's top-K, if
+/// either winner is not exactly legal at its swept widths, or (full
+/// mode) if the grid has fewer than 1000 candidates.
+pub fn sweep_kernel(spec: &SweepSpec, opts: &SweepOptions) -> SweepRow {
+    let params = BTreeMap::from([("N".to_string(), spec.probe_n)]);
+    let geom = KernelGeometry::new(&spec.program, &params);
+    let grid = width_grid(&spec.program, &spec.shapes, &spec.widths);
+    if !opts.quick && opts.widths.is_none() {
+        assert!(
+            grid.len() >= 1000,
+            "{}: dense grid has only {} candidates",
+            spec.name,
+            grid.len()
+        );
+    }
+    let top_k = opts.top_k.min(grid.len());
+
+    let model_score =
+        |p: &Vec<Shackle>| predict(&geom, p, &[PROBE_CACHE], PROBE_MEM_LATENCY).cycles;
+    let exact_score = |p: &Vec<Shackle>| {
+        let code = scan::generate_scanned(&spec.program, p);
+        ground_truth(&[PROBE_CACHE], PROBE_MEM_LATENCY, |h| {
+            trace_execution(&code, &params, &spec.init, h);
+        })
+        .cycles
+    };
+
+    // 1. the two-phase search, timed
+    let mut outcome = None;
+    let two_phase_t = Timing::measure(opts.runs, || {
+        outcome = two_phase(&grid, top_k, model_score, exact_score);
+    });
+    let outcome = outcome.expect("non-empty grid");
+
+    // 2. the pre-model pipeline: simulate everything, timed (same
+    //    parallel fan-out, so the ratio measures the model, not par)
+    let mut sim_cycles: Vec<u64> = Vec::new();
+    let simulate_all_t = Timing::measure(opts.runs, || {
+        sim_cycles = par::map(&grid, exact_score);
+    });
+
+    // 3. ranking accuracy and miss error vs. the ground truth. Dense
+    //    grids routinely hold several sim-optimal candidates (equal
+    //    cycle counts); two-phase search recovers the true optimum as
+    //    soon as *any* of them survives the analytical cut, so the
+    //    reported rank is the best model rank across the tie set.
+    let best_sim = *sim_cycles.iter().min().expect("non-empty grid");
+    let (sim_winner_model_rank, sim_winner) = outcome
+        .ranking
+        .iter()
+        .enumerate()
+        .filter(|&(_, &i)| sim_cycles[i] == best_sim)
+        .map(|(rank, &i)| (rank, i))
+        .next()
+        .expect("ranking is a permutation");
+    let mut sim_rank: Vec<usize> = (0..grid.len()).collect();
+    sim_rank.sort_by_key(|&i| (sim_cycles[i], i));
+    let topk_overlap = outcome.ranking[..top_k]
+        .iter()
+        .filter(|i| sim_rank[..top_k].contains(i))
+        .count();
+    let mut err_sum = 0.0;
+    let mut err_max: f64 = 0.0;
+    for (i, &mc) in outcome.model_scores.iter().enumerate() {
+        // cycles are misses x mem latency on the zero-latency probe
+        let (pred, sim) = (
+            mc as f64 / PROBE_MEM_LATENCY as f64,
+            sim_cycles[i] as f64 / PROBE_MEM_LATENCY as f64,
+        );
+        let err = (pred - sim).abs() / sim.max(1.0);
+        err_sum += err;
+        err_max = err_max.max(err);
+    }
+
+    // 4. the acceptance backstops
+    assert!(
+        sim_winner_model_rank < top_k,
+        "{}: simulated winner (grid index {}) has model rank {}, outside top-{}",
+        spec.name,
+        sim_winner,
+        sim_winner_model_rank,
+        top_k
+    );
+    for idx in [outcome.winner, sim_winner] {
+        assert!(
+            check_legality(&spec.program, &grid[idx]).is_legal(),
+            "{}: swept winner {} must be exactly legal",
+            spec.name,
+            idx
+        );
+    }
+
+    SweepRow {
+        kernel: spec.name,
+        probe_n: spec.probe_n,
+        shapes: spec.shapes.len(),
+        candidates: grid.len(),
+        top_k,
+        model_winner: outcome.winner,
+        sim_winner,
+        sim_winner_model_rank,
+        topk_overlap,
+        winner_cycles: outcome.winner_score,
+        sim_winner_cycles: sim_cycles[sim_winner],
+        two_phase: two_phase_t,
+        simulate_all: simulate_all_t,
+        speedup: simulate_all_t.mean / two_phase_t.mean,
+        miss_err_mean: err_sum / grid.len() as f64,
+        miss_err_max: err_max,
+    }
+}
+
+fn row_json(r: &SweepRow) -> String {
+    format!(
+        "{{\"kernel\": \"{}\", \"probe_n\": {}, \"shapes\": {}, \
+         \"candidates\": {}, \"top_k\": {}, \
+         \"model_winner\": {}, \"sim_winner\": {}, \
+         \"sim_winner_model_rank\": {}, \"winner_in_top_k\": {}, \
+         \"topk_overlap\": {}, \
+         \"winner_cycles\": {}, \"sim_winner_cycles\": {}, \
+         \"two_phase\": {}, \"simulate_all\": {}, \"speedup\": {:.3}, \
+         \"miss_err_mean\": {:.4}, \"miss_err_max\": {:.4}}}",
+        r.kernel,
+        r.probe_n,
+        r.shapes,
+        r.candidates,
+        r.top_k,
+        r.model_winner,
+        r.sim_winner,
+        r.sim_winner_model_rank,
+        r.sim_winner_model_rank < r.top_k,
+        r.topk_overlap,
+        r.winner_cycles,
+        r.sim_winner_cycles,
+        r.two_phase.to_json(),
+        r.simulate_all.to_json(),
+        r.speedup,
+        r.miss_err_mean,
+        r.miss_err_max,
+    )
+}
+
+/// Run the full sweep and write `BENCH_model.json`. Returns the rows.
+///
+/// The aggregate speedup floor is 10x in full mode and 2x in quick mode
+/// (tiny grids cannot amortize as much).
+pub fn run(opts: &SweepOptions) -> Vec<SweepRow> {
+    let specs = specs(opts);
+    println!(
+        "{:<16} {:>6} {:>7} {:>10} {:>6} {:>9} {:>8} {:>12} {:>12} {:>8}",
+        "model sweep",
+        "n",
+        "shapes",
+        "candidates",
+        "top_k",
+        "sim rank",
+        "overlap",
+        "two-phase s",
+        "sim-all s",
+        "speedup"
+    );
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let r = sweep_kernel(spec, opts);
+        println!(
+            "{:<16} {:>6} {:>7} {:>10} {:>6} {:>9} {:>8} {:>12.4} {:>12.4} {:>7.1}x",
+            r.kernel,
+            r.probe_n,
+            r.shapes,
+            r.candidates,
+            r.top_k,
+            r.sim_winner_model_rank,
+            r.topk_overlap,
+            r.two_phase.mean,
+            r.simulate_all.mean,
+            r.speedup
+        );
+        rows.push(r);
+    }
+
+    let total_two: f64 = rows.iter().map(|r| r.two_phase.mean).sum();
+    let total_sim: f64 = rows.iter().map(|r| r.simulate_all.mean).sum();
+    let aggregate = total_sim / total_two;
+    let floor = if opts.quick { 2.0 } else { 10.0 };
+    println!(
+        "{:<16} {:>52} {:>12.4} {:>12.4} {:>7.1}x",
+        "aggregate", "", total_two, total_sim, aggregate
+    );
+    assert_speedup("two-phase model search (aggregate)", aggregate, floor);
+
+    let mut report = BenchReport::new();
+    report.field_str("schema", "shackle-model-sweep-v1");
+    report.field_raw(
+        "options",
+        format!(
+            "{{\"quick\": {}, \"top_k\": {}, \"runs\": {}}}",
+            opts.quick, opts.top_k, opts.runs
+        ),
+    );
+    report.section("kernels");
+    for r in &rows {
+        report.row(row_json(r));
+    }
+    report.field_raw(
+        "aggregate",
+        format!(
+            "{{\"two_phase_secs\": {total_two:.6}, \
+             \"simulate_all_secs\": {total_sim:.6}, \
+             \"speedup\": {aggregate:.3}, \"floor\": {floor:.1}, \
+             \"winner_in_top_k_all\": {}}}",
+            rows.iter().all(|r| r.sim_winner_model_rank < r.top_k)
+        ),
+    );
+    report
+        .write("BENCH_model.json")
+        .expect("write BENCH_model.json");
+    println!("wrote BENCH_model.json");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_matmul_ranks_and_asserts() {
+        let opts = SweepOptions {
+            quick: true,
+            runs: 1,
+            kernels: Some(vec!["matmul_ijk".to_string()]),
+            ..Default::default()
+        };
+        let specs = specs(&opts);
+        assert_eq!(specs.len(), 1);
+        let r = sweep_kernel(&specs[0], &opts);
+        // 12 shapes (6 single + 6 product) over 3 widths
+        assert_eq!(r.candidates, 6 * 3 + 6 * 9);
+        assert!(r.sim_winner_model_rank < r.top_k);
+        assert!(r.winner_cycles > 0);
+        assert!(r.winner_cycles <= r.sim_winner_cycles * 2);
+        assert!(r.miss_err_mean >= 0.0 && r.miss_err_max >= r.miss_err_mean);
+    }
+
+    #[test]
+    fn specs_cover_every_in_repo_kernel() {
+        let names: Vec<&str> = specs(&SweepOptions::default())
+            .iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "matmul_ijk",
+                "cholesky_right",
+                "cholesky_left",
+                "gauss",
+                "qr_householder",
+                "adi"
+            ]
+        );
+        for s in specs(&SweepOptions::default()) {
+            let n: usize = s
+                .shapes
+                .iter()
+                .map(|shape| s.widths.len().pow(shape.len() as u32))
+                .sum();
+            assert!(n >= 1000, "{}: dense grid only reaches {}", s.name, n);
+        }
+    }
+}

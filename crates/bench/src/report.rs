@@ -131,6 +131,79 @@ impl BenchReport {
     }
 }
 
+/// Repeated wall-clock measurement: `runs` repetitions with mean, min
+/// and max seconds. Single-number timings hide run-to-run variance;
+/// rows that feed speedup assertions (the model-vs-simulate rows of
+/// `BENCH_model.json`) carry all three so a noisy measurement is
+/// visible in the artifact instead of silently deciding a ratio.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Timing {
+    /// Number of repetitions measured.
+    pub runs: usize,
+    /// Mean seconds across the runs.
+    pub mean: f64,
+    /// Fastest run, seconds.
+    pub min: f64,
+    /// Slowest run, seconds.
+    pub max: f64,
+}
+
+impl Timing {
+    /// Measure `run` `runs` times (at least once).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shackle_bench::report::Timing;
+    /// let t = Timing::measure(5, || {
+    ///     std::hint::black_box(42);
+    /// });
+    /// assert_eq!(t.runs, 5);
+    /// assert!(t.min <= t.mean && t.mean <= t.max);
+    /// ```
+    pub fn measure(runs: usize, mut run: impl FnMut()) -> Self {
+        let runs = runs.max(1);
+        let mut min = f64::MAX;
+        let mut max: f64 = 0.0;
+        let mut sum = 0.0;
+        for _ in 0..runs {
+            let t = std::time::Instant::now();
+            run();
+            let secs = t.elapsed().as_secs_f64();
+            min = min.min(secs);
+            max = max.max(secs);
+            sum += secs;
+        }
+        Self {
+            runs,
+            mean: sum / runs as f64,
+            min,
+            max,
+        }
+    }
+
+    /// The timing as a raw JSON object (`runs`, `mean_secs`,
+    /// `min_secs`, `max_secs`), for [`BenchReport::field_raw`] or row
+    /// assembly.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"runs\": {}, \"mean_secs\": {:.6}, \"min_secs\": {:.6}, \"max_secs\": {:.6}}}",
+            self.runs, self.mean, self.min, self.max
+        )
+    }
+}
+
+impl std::fmt::Display for Timing {
+    /// `mean ± min/max` rendering for console tables.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4}s (min {:.4}, max {:.4}, n={})",
+            self.mean, self.min, self.max, self.runs
+        )
+    }
+}
+
 /// Assert a measured speedup clears a floor — the report's regression
 /// tripwire. Floors are deliberately far below typical measurements so
 /// only a genuine pipeline regression (or a broken measurement) trips
@@ -210,5 +283,22 @@ mod tests {
     #[should_panic(expected = "below the")]
     fn assert_speedup_trips_on_regression() {
         assert_speedup("exec", 0.5, 1.0);
+    }
+
+    #[test]
+    fn timing_measures_at_least_once_and_orders_stats() {
+        let mut calls = 0;
+        let t = Timing::measure(0, || calls += 1);
+        assert_eq!((t.runs, calls), (1, 1));
+        let t = Timing::measure(7, || {
+            std::hint::black_box(3 * 3);
+        });
+        assert_eq!(t.runs, 7);
+        assert!(t.min <= t.mean && t.mean <= t.max);
+        assert!(t.min >= 0.0);
+        let json = t.to_json();
+        assert!(json.starts_with("{\"runs\": 7, \"mean_secs\": "));
+        assert!(json.contains("\"min_secs\": ") && json.ends_with('}'));
+        assert!(t.to_string().contains("n=7"));
     }
 }

@@ -4,7 +4,9 @@
 //!
 //! Both modes run the same candidate space
 //! ([`shackle_core::search::candidate_shackles`]), the same greedy
-//! Theorem-2 product growth and the same cache-simulator scoring, and
+//! Theorem-2 product growth and the same two-phase scoring (the
+//! `shackle-model` analytical predictor ranks every product, the exact
+//! probe-cache simulator re-scores only the top [`TOP_K`]), and
 //! render an identical textual report — so the performance report can
 //! assert that memoization and parallelism change *nothing* about the
 //! search result, only its cost:
@@ -22,13 +24,14 @@
 //!   [`shackle_core::par`] fan-out for enumeration, growth and scoring.
 
 use shackle_core::search::{
-    candidate_shackles, complete_product_with_deps, Candidate, SearchConfig,
+    candidate_shackles, complete_product_with_deps, two_phase, Candidate, SearchConfig,
 };
 use shackle_core::{check_legality_reference, is_legal_with_deps, par, scan, span, Shackle};
 use shackle_ir::deps::dependences;
 use shackle_ir::Program;
 use shackle_kernels::trace::trace_execution;
-use shackle_memsim::{CacheConfig, Hierarchy};
+use shackle_memsim::{ground_truth, CacheConfig};
+use shackle_model::{predict, KernelGeometry};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -52,6 +55,9 @@ pub struct SearchOutcome {
     pub legal: usize,
     /// Fully-blocking distinct products grown from the legal seeds.
     pub products: usize,
+    /// Products re-scored with the exact simulator (the analytical
+    /// model ranks all of them; only the top [`TOP_K`] are simulated).
+    pub rescored: usize,
     /// Simulated memory cycles of the selected product.
     pub winner_cycles: u64,
     /// Full textual report: every verdict, product, score and the
@@ -68,6 +74,12 @@ pub const PROBE_CACHE: CacheConfig = CacheConfig {
     assoc: 4,
     latency: 0,
 };
+
+/// Survivors of the analytical first pass that get exact probe-cache
+/// simulation (`shackle_core::search::two_phase`). Two is enough for
+/// the handful of grown products this harness ranks; the dense-grid
+/// sweep (`shackle_bench::modelperf`) uses a configurable K, default 8.
+pub const TOP_K: usize = 2;
 
 /// Run the full auto-shackle search — enumerate, grow, score, select —
 /// in the given mode. `probe_n` is the problem size scored on the probe
@@ -121,25 +133,28 @@ pub fn auto_search(
         }
     }
 
-    // 3. score each product on the probe cache
+    // 3. two-phase scoring: the analytical model ranks every product,
+    //    then only the top-K survivors get the exact probe-cache
+    //    simulation. Both phases tie-break by product index, so the
+    //    outcome is deterministic; Baseline pins the fan-out to one
+    //    worker so it stays the serial pipeline end to end.
     let params = BTreeMap::from([("N".to_string(), probe_n)]);
-    let score = |product: &Vec<Shackle>| -> (u64, String) {
+    let geom = KernelGeometry::new(program, &params);
+    let model_score = |product: &Vec<Shackle>| predict(&geom, product, &[PROBE_CACHE], 60).cycles;
+    let exact_score = |product: &Vec<Shackle>| {
         let code = scan::generate_scanned(program, product);
-        let mut h = Hierarchy::new(&[PROBE_CACHE], 60);
-        trace_execution(&code, &params, &init, &mut h);
-        (h.cycles(), code.to_string())
+        ground_truth(&[PROBE_CACHE], 60, |h| {
+            trace_execution(&code, &params, &init, h);
+        })
+        .cycles
     };
-    let scored: Vec<(u64, String)> = match mode {
-        Mode::Memoized => par::map(&products, score),
-        Mode::Baseline => products.iter().map(score).collect(),
+    let outcome = match mode {
+        Mode::Memoized => two_phase(&products, TOP_K, model_score, exact_score),
+        Mode::Baseline => {
+            let _serial = par::with_threads(1);
+            two_phase(&products, TOP_K, model_score, exact_score)
+        }
     };
-
-    // 4. select the winner (fewest cycles, ties by enumeration order)
-    let winner = scored
-        .iter()
-        .enumerate()
-        .min_by_key(|(i, (cycles, _))| (*cycles, *i))
-        .map(|(i, _)| i);
 
     let mut report = String::new();
     let _ = writeln!(report, "candidates {}", raw.len());
@@ -154,17 +169,21 @@ pub fn auto_search(
         let text: Vec<String> = p.iter().map(|s| s.to_string()).collect();
         let _ = writeln!(report, "product {i}: {}", text.join(" x "));
     }
-    for (i, (cycles, _)) in scored.iter().enumerate() {
-        let _ = writeln!(report, "score {i}: {cycles} cycles at N={probe_n}");
-    }
-    let winner_cycles = match winner {
-        Some(i) => {
-            let _ = writeln!(report, "winner {i}\n{}", scored[i].1);
-            scored[i].0
+    let (rescored, winner_cycles) = match &outcome {
+        Some(o) => {
+            for (i, &cycles) in o.model_scores.iter().enumerate() {
+                let _ = writeln!(report, "model {i}: {cycles} cycles predicted");
+            }
+            for &(i, cycles) in &o.rescored {
+                let _ = writeln!(report, "rescore {i}: {cycles} cycles at N={probe_n}");
+            }
+            let code = scan::generate_scanned(program, &products[o.winner]);
+            let _ = writeln!(report, "winner {}\n{}", o.winner, code);
+            (o.rescored.len(), o.winner_score)
         }
         None => {
             let _ = writeln!(report, "winner none");
-            0
+            (0, 0)
         }
     };
 
@@ -172,6 +191,7 @@ pub fn auto_search(
         candidates: raw.len(),
         legal: legal.len(),
         products: products.len(),
+        rescored,
         winner_cycles,
         report,
     }

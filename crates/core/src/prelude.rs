@@ -19,7 +19,8 @@
 pub use crate::codegen::{naive::generate_naive, scan::generate_scanned};
 pub use crate::search::{
     candidate_shackles, complete_product, complete_product_with_deps, enumerate_legal,
-    enumerate_legal_with_deps, Candidate, SearchConfig,
+    enumerate_legal_with_deps, grid_shapes, reblock, two_phase, width_grid, Candidate,
+    SearchConfig, TwoPhaseOutcome,
 };
 pub use crate::{
     check_legality, check_legality_reference, check_legality_with_deps, is_legal_with_deps,

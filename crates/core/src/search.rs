@@ -294,6 +294,164 @@ pub fn complete_product_with_deps(
     }
 }
 
+/// Re-widen a product: the same cutting-plane normals, directions and
+/// shackled references, with each factor's cuts set to the paired
+/// width. This is how the grid search varies block sizes without
+/// re-deriving shapes: the §6.2 observation that orientation and
+/// reference choice decide *legality* while widths decide *locality*
+/// means one legality check per shape covers the whole width sweep
+/// (re-verified for the rescored survivors by the harnesses).
+///
+/// # Panics
+///
+/// Panics if `widths.len() != product.len()`.
+pub fn reblock(program: &Program, product: &[Shackle], widths: &[i64]) -> Vec<Shackle> {
+    assert_eq!(widths.len(), product.len(), "one width per product factor");
+    product
+        .iter()
+        .zip(widths)
+        .map(|(f, &w)| {
+            let cuts: Vec<CutSet> = f
+                .blocking()
+                .cuts()
+                .iter()
+                .map(|c| CutSet {
+                    normal: c.normal.clone(),
+                    width: w,
+                    direction: c.direction,
+                })
+                .collect();
+            Shackle::new(
+                program,
+                Blocking::new(f.blocking().array(), cuts),
+                f.refs().to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// The distinct product *shapes* reachable by the automatic search:
+/// every legal single shackle plus the greedy completion grown from
+/// each one, deduplicated. Shapes carry the pivot width from `config`;
+/// [`width_grid`] re-widens them across a sweep.
+pub fn grid_shapes(program: &Program, config: &SearchConfig) -> Vec<Vec<Shackle>> {
+    let deps = dependences(program);
+    let legal = enumerate_legal_with_deps(program, config, &deps);
+    let mut shapes: Vec<Vec<Shackle>> = Vec::new();
+    for c in &legal {
+        let single = vec![c.shackle.clone()];
+        let product = complete_product_with_deps(program, single.clone(), &legal, &deps);
+        for s in [single, product] {
+            if !shapes.contains(&s) {
+                shapes.push(s);
+            }
+        }
+    }
+    shapes
+}
+
+/// The dense candidate grid: every shape crossed with every width
+/// combination (`widths.len().pow(factors)` per shape — per-factor
+/// widths, so multi-level blockings with different inner and outer
+/// block sizes are part of the space). Candidates are ordered
+/// deterministically: shapes in the given order, width combinations in
+/// odometer order with the *last* factor varying fastest.
+pub fn width_grid(program: &Program, shapes: &[Vec<Shackle>], widths: &[i64]) -> Vec<Vec<Shackle>> {
+    let mut out = Vec::new();
+    for shape in shapes {
+        let k = shape.len();
+        let mut combo: Vec<i64> = Vec::with_capacity(k);
+        grid_rec(program, shape, widths, &mut combo, &mut out);
+    }
+    out
+}
+
+fn grid_rec(
+    program: &Program,
+    shape: &[Shackle],
+    widths: &[i64],
+    combo: &mut Vec<i64>,
+    out: &mut Vec<Vec<Shackle>>,
+) {
+    if combo.len() == shape.len() {
+        out.push(reblock(program, shape, combo));
+        return;
+    }
+    for &w in widths {
+        combo.push(w);
+        grid_rec(program, shape, widths, combo, out);
+        combo.pop();
+    }
+}
+
+/// Candidates ranked by the analytical first pass of [`two_phase`],
+/// published to the probe counter `model.candidates`.
+static MODEL_CANDIDATES: LazyLock<&'static shackle_probe::Counter> =
+    LazyLock::new(|| shackle_probe::counter("model.candidates"));
+
+/// Outcome of a [`two_phase`] search.
+#[derive(Clone, Debug)]
+pub struct TwoPhaseOutcome {
+    /// Index of the winning candidate (minimum exact score among the
+    /// rescored survivors; ties broken by candidate index).
+    pub winner: usize,
+    /// The winner's exact score.
+    pub winner_score: u64,
+    /// All candidate indices in model-rank order, best first (ties
+    /// broken by candidate index).
+    pub ranking: Vec<usize>,
+    /// The first-pass score of every candidate, in candidate order.
+    pub model_scores: Vec<u64>,
+    /// `(candidate index, exact score)` for each rescored survivor, in
+    /// model-rank order.
+    pub rescored: Vec<(usize, u64)>,
+}
+
+/// Two-phase candidate selection: rank every candidate with the cheap
+/// `model_score` (first pass, parallel over [`par`] workers), then
+/// re-score only the `top_k` best-ranked survivors with the expensive
+/// `exact_score` (second pass, also parallel, under the probe span
+/// `search.topk_rescore`). Returns `None` on an empty candidate set or
+/// `top_k == 0`.
+///
+/// Both phases break ties by candidate index, so the outcome is
+/// byte-identical at any `SHACKLE_THREADS` setting. The module stays
+/// cost-model-agnostic: scorers are injected (the harnesses pass
+/// `shackle_model::predict` and the exact cache simulator).
+pub fn two_phase<T: Sync>(
+    candidates: &[T],
+    top_k: usize,
+    model_score: impl Fn(&T) -> u64 + Sync,
+    exact_score: impl Fn(&T) -> u64 + Sync,
+) -> Option<TwoPhaseOutcome> {
+    if candidates.is_empty() || top_k == 0 {
+        return None;
+    }
+    let scores = par::map(candidates, &model_score);
+    if shackle_probe::enabled() {
+        MODEL_CANDIDATES.add(candidates.len() as u64);
+    }
+    let mut ranking: Vec<usize> = (0..candidates.len()).collect();
+    ranking.sort_by_key(|&i| (scores[i], i));
+    let survivors: Vec<usize> = ranking.iter().copied().take(top_k).collect();
+    let rescored: Vec<(usize, u64)> = {
+        let _phase = shackle_probe::span("search.topk_rescore");
+        let exact = par::map(&survivors, |&i| exact_score(&candidates[i]));
+        survivors.into_iter().zip(exact).collect()
+    };
+    let &(winner, winner_score) = rescored
+        .iter()
+        .min_by_key(|&&(i, s)| (s, i))
+        .expect("top_k >= 1 and candidates non-empty");
+    Some(TwoPhaseOutcome {
+        winner,
+        winner_score,
+        ranking,
+        model_scores: scores,
+        rescored,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +559,97 @@ mod tests {
         // only C's two dimension orders
         assert_eq!(legal.len(), 2);
         assert!(legal.iter().all(|c| c.shackle.blocking().array() == "C"));
+    }
+
+    #[test]
+    fn reblock_preserves_shape_and_changes_widths() {
+        let p = kernels::matmul_ijk();
+        let cfg = SearchConfig {
+            width: 8,
+            ..Default::default()
+        };
+        let legal = enumerate_legal(&p, &cfg);
+        let product = complete_product(&p, vec![legal[0].shackle.clone()], &legal);
+        let re = reblock(&p, &product, &vec![16; product.len()]);
+        assert_eq!(re.len(), product.len());
+        for (a, b) in re.iter().zip(&product) {
+            assert_eq!(a.blocking().array(), b.blocking().array());
+            assert_eq!(a.refs(), b.refs());
+            for (ca, cb) in a.blocking().cuts().iter().zip(b.blocking().cuts()) {
+                assert_eq!(ca.normal, cb.normal);
+                assert_eq!(ca.direction, cb.direction);
+                assert_eq!(ca.width, 16);
+                assert_eq!(cb.width, 8);
+            }
+        }
+        // width-independence: the re-widened product is still legal
+        let deps = shackle_ir::deps::dependences(&p);
+        assert!(check_legality_with_deps(&p, &re, &deps).is_legal());
+    }
+
+    #[test]
+    fn width_grid_is_dense_and_deterministic() {
+        let p = kernels::matmul_ijk();
+        let cfg = SearchConfig {
+            width: 8,
+            ..Default::default()
+        };
+        let shapes = grid_shapes(&p, &cfg);
+        assert!(!shapes.is_empty());
+        let widths = [4, 8, 16];
+        let grid = width_grid(&p, &shapes, &widths);
+        let expected: usize = shapes
+            .iter()
+            .map(|s| widths.len().pow(s.len() as u32))
+            .sum();
+        assert_eq!(grid.len(), expected);
+        assert_eq!(grid, width_grid(&p, &shapes, &widths));
+        // the odometer order: the first shape's candidates lead, with
+        // the last factor's width varying fastest
+        let w0: Vec<i64> = grid[0]
+            .iter()
+            .map(|f| f.blocking().cuts()[0].width)
+            .collect();
+        assert!(w0.iter().all(|&w| w == 4));
+        let w1 = grid[1].last().unwrap().blocking().cuts()[0].width;
+        assert_eq!(w1, 8);
+    }
+
+    #[test]
+    fn two_phase_rescores_only_survivors_and_picks_exact_winner() {
+        let candidates: Vec<u64> = vec![50, 10, 40, 20, 30];
+        let rescored = std::sync::atomic::AtomicUsize::new(0);
+        // model ranks by value; exact inverts the two best so the
+        // rescore decides
+        let out = two_phase(
+            &candidates,
+            2,
+            |&c| c,
+            |&c| {
+                rescored.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if c == 10 {
+                    99
+                } else {
+                    c
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out.ranking, vec![1, 3, 4, 2, 0]);
+        assert_eq!(rescored.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(out.rescored, vec![(1, 99), (3, 20)]);
+        assert_eq!(out.winner, 3);
+        assert_eq!(out.winner_score, 20);
+    }
+
+    #[test]
+    fn two_phase_breaks_ties_by_candidate_index() {
+        let candidates = vec![7u64, 7, 7, 7];
+        let out = two_phase(&candidates, 4, |&c| c, |&c| c).unwrap();
+        assert_eq!(out.ranking, vec![0, 1, 2, 3]);
+        assert_eq!(out.winner, 0);
+        assert!(two_phase::<u64>(&[], 4, |&c| c, |&c| c).is_none());
+        assert!(two_phase(&candidates, 0, |&c| c, |&c| c).is_none());
     }
 
     #[test]

@@ -52,9 +52,11 @@ mod hierarchy;
 mod sink;
 mod stack;
 mod tlb;
+mod truth;
 
 pub use cache::{Cache, CacheConfig, ConfigError, LevelStats};
 pub use hierarchy::{Hierarchy, PerfModel};
 pub use sink::AccessSink;
 pub use stack::{direct_sweep, stack_sweep, StackSim};
 pub use tlb::{Tlb, TlbConfig};
+pub use truth::{ground_truth, GroundTruth};

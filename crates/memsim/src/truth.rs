@@ -1,0 +1,103 @@
+//! Ground-truth measurement: one call that builds a fresh
+//! [`Hierarchy`], lets the caller replay an access stream into it, and
+//! returns the exact per-level statistics.
+//!
+//! This is the canonical "exact score" of the workspace's two-phase
+//! search (`shackle_core::search::two_phase`): the analytical model
+//! (`shackle-model`) ranks thousands of candidates, and the top-K
+//! survivors are re-scored against [`ground_truth`]. Keeping the entry
+//! point here — address-based, producer-agnostic — means benchmarks,
+//! differential tests and the model-calibration harness all measure
+//! through the same door.
+
+use crate::{CacheConfig, Hierarchy, LevelStats};
+
+/// Exact simulation result for one access stream on one hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Per-level statistics, fastest level first.
+    pub levels: Vec<LevelStats>,
+    /// Total memory-system cycles under the hierarchy's accounting.
+    pub cycles: u64,
+    /// Accesses presented to the first level.
+    pub accesses: u64,
+}
+
+impl GroundTruth {
+    /// Misses at the last (largest) level: the traffic to memory.
+    pub fn memory_misses(&self) -> u64 {
+        self.levels.last().map_or(0, |l| l.misses)
+    }
+}
+
+/// Measure an access stream exactly: build a [`Hierarchy`] from
+/// `levels` and `mem_latency`, hand it to `feed` (which replays the
+/// stream — e.g. the interpreter's trace bridge), and collect the
+/// statistics.
+///
+/// # Examples
+///
+/// ```
+/// use shackle_memsim::{ground_truth, CacheConfig};
+/// let probe = CacheConfig { size: 1024, line: 64, assoc: 2, latency: 1 };
+/// let t = ground_truth(&[probe], 50, |h| {
+///     for addr in (0..2048u64).step_by(8) {
+///         h.access(addr);
+///     }
+/// });
+/// assert_eq!(t.accesses, 256);
+/// assert_eq!(t.levels[0].misses, 32); // cold misses, one per line
+/// assert_eq!(t.cycles, 256 + 32 * 50);
+/// ```
+pub fn ground_truth(
+    levels: &[CacheConfig],
+    mem_latency: u64,
+    feed: impl FnOnce(&mut Hierarchy),
+) -> GroundTruth {
+    let mut h = Hierarchy::new(levels, mem_latency);
+    feed(&mut h);
+    GroundTruth {
+        levels: h.level_stats(),
+        cycles: h.cycles(),
+        accesses: h.accesses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_matches_manual_hierarchy() {
+        let cfg = CacheConfig {
+            size: 512,
+            line: 64,
+            assoc: 1,
+            latency: 2,
+        };
+        let addrs: Vec<u64> = (0..128).map(|i| (i * 40) % 4096).collect();
+        let t = ground_truth(&[cfg], 30, |h| {
+            crate::AccessSink::push_many(h, &addrs);
+        });
+        let mut h = Hierarchy::new(&[cfg], 30);
+        crate::AccessSink::push_many(&mut h, &addrs);
+        assert_eq!(t.levels, h.level_stats());
+        assert_eq!(t.cycles, h.cycles());
+        assert_eq!(t.accesses, 128);
+        assert_eq!(t.memory_misses(), h.level_stats()[0].misses);
+    }
+
+    #[test]
+    fn empty_stream_is_all_zeroes() {
+        let cfg = CacheConfig {
+            size: 512,
+            line: 64,
+            assoc: 1,
+            latency: 2,
+        };
+        let t = ground_truth(&[cfg], 30, |_| {});
+        assert_eq!(t.accesses, 0);
+        assert_eq!(t.cycles, 0);
+        assert_eq!(t.memory_misses(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Calibration scratchpad: model predictions vs exact simulation for
+//! the paper kernels across block widths on the probe cache.
+//!
+//! `cargo run --release -p shackle-model --example calibrate`
+
+use shackle_core::scan::generate_scanned;
+use shackle_ir::kernels;
+use shackle_kernels::shackles;
+use shackle_kernels::trace::trace_execution;
+use shackle_memsim::{CacheConfig, Hierarchy};
+use shackle_model::{predict, KernelGeometry};
+use std::collections::BTreeMap;
+
+const PROBE: CacheConfig = CacheConfig {
+    size: 8 * 1024,
+    line: 128,
+    assoc: 4,
+    latency: 0,
+};
+
+fn ones(_: &str, _: &[usize]) -> f64 {
+    1.0
+}
+
+fn main() {
+    let n = 48i64;
+    let params = BTreeMap::from([("N".to_string(), n)]);
+    let mm = kernels::matmul_ijk();
+    let geom = KernelGeometry::new(&mm, &params);
+    println!("matmul N={n}  M_C single shackle");
+    println!(
+        "{:>5} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "w", "pred miss", "sim miss", "ratio", "pred cyc", "sim cyc"
+    );
+    for w in [4, 6, 8, 12, 16, 24, 32, 48] {
+        let product = shackles::matmul_c(&mm, w);
+        let p = predict(&geom, &product, &[PROBE], 60);
+        let code = generate_scanned(&mm, &product);
+        let mut h = Hierarchy::new(&[PROBE], 60);
+        trace_execution(&code, &params, ones, &mut h);
+        let sim = h.level_stats()[0];
+        println!(
+            "{:>5} {:>12} {:>12} {:>8.3} {:>12} {:>12}",
+            w,
+            p.levels[0].misses,
+            sim.misses,
+            p.levels[0].misses as f64 / sim.misses as f64,
+            p.cycles,
+            h.cycles()
+        );
+    }
+    println!("\nmatmul N={n}  M_C x M_A product");
+    for w in [4, 6, 8, 12, 16, 24, 32, 48] {
+        let product = shackles::matmul_ca(&mm, w);
+        let p = predict(&geom, &product, &[PROBE], 60);
+        let code = generate_scanned(&mm, &product);
+        let mut h = Hierarchy::new(&[PROBE], 60);
+        trace_execution(&code, &params, ones, &mut h);
+        let sim = h.level_stats()[0];
+        println!(
+            "{:>5} {:>12} {:>12} {:>8.3} {:>12} {:>12}",
+            w,
+            p.levels[0].misses,
+            sim.misses,
+            p.levels[0].misses as f64 / sim.misses as f64,
+            p.cycles,
+            h.cycles()
+        );
+    }
+
+    let ch = kernels::cholesky_right();
+    let geom = KernelGeometry::new(&ch, &params);
+    let init = shackle_kernels::gen::spd_ws_init("A", n as usize, 3);
+    println!("\ncholesky_right N={n}  product");
+    for w in [4, 6, 8, 12, 16, 24, 32] {
+        let product = shackles::cholesky_product(&ch, w);
+        let p = predict(&geom, &product, &[PROBE], 60);
+        let code = generate_scanned(&ch, &product);
+        let mut h = Hierarchy::new(&[PROBE], 60);
+        trace_execution(&code, &params, &init, &mut h);
+        let sim = h.level_stats()[0];
+        println!(
+            "{:>5} {:>12} {:>12} {:>8.3} {:>12} {:>12}",
+            w,
+            p.levels[0].misses,
+            sim.misses,
+            p.levels[0].misses as f64 / sim.misses as f64,
+            p.cycles,
+            h.cycles()
+        );
+    }
+
+    let n2 = 96i64;
+    let params2 = BTreeMap::from([("N".to_string(), n2)]);
+    let geom2 = KernelGeometry::new(&ch, &params2);
+    let init2 = shackle_kernels::gen::spd_ws_init("A", n2 as usize, 3);
+    println!("\ncholesky_right N={n2}  product");
+    for w in [4, 6, 8, 12, 16, 24, 32, 48] {
+        let product = shackles::cholesky_product(&ch, w);
+        let p = predict(&geom2, &product, &[PROBE], 60);
+        let code = generate_scanned(&ch, &product);
+        let mut h = Hierarchy::new(&[PROBE], 60);
+        trace_execution(&code, &params2, &init2, &mut h);
+        let sim = h.level_stats()[0];
+        println!(
+            "{:>5} {:>12} {:>12} {:>8.3} {:>12} {:>12}",
+            w,
+            p.levels[0].misses,
+            sim.misses,
+            p.levels[0].misses as f64 / sim.misses as f64,
+            p.cycles,
+            h.cycles()
+        );
+    }
+}

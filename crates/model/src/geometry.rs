@@ -1,0 +1,298 @@
+//! Candidate-independent geometry of a kernel: loop extents, instance
+//! counts, array shapes and deduplicated references, evaluated at
+//! concrete parameter values.
+//!
+//! The predictor ([`crate::predict()`]) is called once per candidate over
+//! a dense grid, so everything that does not depend on the shackle
+//! product — which is everything here — is extracted once per
+//! `(program, params)` pair and shared across the sweep.
+//!
+//! Triangular bounds are handled exactly *on average*: the extractor
+//! walks the outer iterations numerically and records the mean trip
+//! count of every loop, which is what the footprint arithmetic needs
+//! (affine subscripts make footprints linear in the trip counts).
+//! Guards (`If` nodes) are ignored — the banded kernels over-count,
+//! which is documented conservatism (DESIGN.md §"Analytical cost
+//! model").
+
+use shackle_ir::{ArrayRef, Bound, Program, StmtId};
+use std::collections::BTreeMap;
+
+/// Ceiling division for possibly-negative numerators.
+fn ceil_div(a: i64, d: i64) -> i64 {
+    debug_assert!(d >= 1);
+    a.div_euclid(d) + i64::from(a.rem_euclid(d) != 0)
+}
+
+/// Floor division for possibly-negative numerators.
+fn floor_div(a: i64, d: i64) -> i64 {
+    debug_assert!(d >= 1);
+    a.div_euclid(d)
+}
+
+fn eval_bound(b: &Bound, env: &BTreeMap<String, i64>, lower: bool) -> i64 {
+    let get = |name: &str| *env.get(name).unwrap_or(&0);
+    let mut acc: Option<i64> = None;
+    for t in &b.terms {
+        let v = t.expr.eval(&get);
+        let v = if lower {
+            ceil_div(v, t.div)
+        } else {
+            floor_div(v, t.div)
+        };
+        acc = Some(match acc {
+            None => v,
+            Some(a) if lower => a.max(v),
+            Some(a) => a.min(v),
+        });
+    }
+    acc.expect("bounds have at least one term")
+}
+
+/// One surrounding loop of a statement, with its mean trip count over
+/// the enclosing iteration space.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// The loop variable.
+    pub var: String,
+    /// Mean inclusive extent (`upper - lower + 1`, averaged over the
+    /// enclosing iterations that reach this loop with a non-empty
+    /// range). At least 1 for reachable loops.
+    pub avg_extent: f64,
+    /// Largest inclusive extent over the same iterations. Working-set
+    /// (capacity) tests use this: a triangular loop that fits *on
+    /// average* still thrashes for the wide iterations, and the model
+    /// must call that streaming, not a fit.
+    pub max_extent: f64,
+}
+
+/// One *distinct* array reference of a statement, with how many times
+/// it occurs in the statement text (duplicate occurrences in the same
+/// instance always hit — same element, same line — so the predictor
+/// fetches per distinct reference but counts traffic per occurrence).
+#[derive(Clone, Debug)]
+pub struct RefInfo {
+    /// The reference (array + affine subscripts).
+    pub aref: ArrayRef,
+    /// Occurrences in the statement (write + reads).
+    pub occurrences: u64,
+}
+
+/// Per-statement geometry.
+#[derive(Clone, Debug)]
+pub struct StmtGeometry {
+    /// The statement's id in the program.
+    pub id: StmtId,
+    /// Surrounding loops, outermost first.
+    pub loops: Vec<LoopInfo>,
+    /// Exact instance count (ignoring guards).
+    pub instances: f64,
+    /// Distinct references with occurrence counts.
+    pub refs: Vec<RefInfo>,
+}
+
+impl StmtGeometry {
+    /// Mean extent of loop variable `var`, or `None` if `var` is not a
+    /// surrounding loop of this statement.
+    pub fn extent_of(&self, var: &str) -> Option<f64> {
+        self.loops
+            .iter()
+            .find(|l| l.var == var)
+            .map(|l| l.avg_extent)
+    }
+
+    /// Largest extent of loop variable `var` (see
+    /// [`LoopInfo::max_extent`]).
+    pub fn max_extent_of(&self, var: &str) -> Option<f64> {
+        self.loops
+            .iter()
+            .find(|l| l.var == var)
+            .map(|l| l.max_extent)
+    }
+}
+
+/// Candidate-independent geometry of one `(program, params)` pair.
+#[derive(Clone, Debug)]
+pub struct KernelGeometry {
+    /// Per-statement geometry, in statement-id order.
+    pub stmts: Vec<StmtGeometry>,
+    /// Array extents per dimension, evaluated at the parameters
+    /// (column-major storage; dimension 0 is contiguous).
+    pub arrays: BTreeMap<String, Vec<f64>>,
+    /// Total element accesses (sum over statements of
+    /// `instances x occurrences`).
+    pub accesses: f64,
+}
+
+impl KernelGeometry {
+    /// Extract geometry for `program` at the given parameter values.
+    ///
+    /// The walk over outer iterations is exact; its cost is the product
+    /// of all non-innermost trip counts per statement, which is
+    /// `O(N^(depth-1))` — fine for the probe sizes the search uses. A
+    /// safety valve caps the walk at ~4M visited iterations per
+    /// statement and falls back to midpoint evaluation beyond it.
+    pub fn new(program: &Program, params: &BTreeMap<String, i64>) -> Self {
+        let mut stmts = Vec::new();
+        let mut accesses = 0.0;
+        for id in 0..program.stmts().len() {
+            let ctx = program.context(id);
+            let mut walker = Walker {
+                loops: &ctx.loops,
+                env: params.clone(),
+                sum_extent: vec![0.0; ctx.loops.len()],
+                max_extent: vec![0.0; ctx.loops.len()],
+                visits: vec![0.0; ctx.loops.len()],
+                budget: 4_000_000,
+            };
+            let instances = walker.walk(0);
+            let loops: Vec<LoopInfo> = ctx
+                .loops
+                .iter()
+                .enumerate()
+                .map(|(d, l)| LoopInfo {
+                    var: l.var.clone(),
+                    avg_extent: if walker.visits[d] > 0.0 {
+                        (walker.sum_extent[d] / walker.visits[d]).max(1.0)
+                    } else {
+                        1.0
+                    },
+                    max_extent: walker.max_extent[d].max(1.0),
+                })
+                .collect();
+            let mut refs: Vec<RefInfo> = Vec::new();
+            for (r, _) in program.stmts()[id].refs() {
+                if let Some(existing) = refs.iter_mut().find(|e| &e.aref == r) {
+                    existing.occurrences += 1;
+                } else {
+                    refs.push(RefInfo {
+                        aref: r.clone(),
+                        occurrences: 1,
+                    });
+                }
+            }
+            let occurrences: u64 = refs.iter().map(|r| r.occurrences).sum();
+            accesses += instances * occurrences as f64;
+            stmts.push(StmtGeometry {
+                id,
+                loops,
+                instances,
+                refs,
+            });
+        }
+        let get_param = |name: &str| *params.get(name).unwrap_or(&0);
+        let arrays = program
+            .arrays()
+            .iter()
+            .map(|a| {
+                let dims = a
+                    .dims()
+                    .iter()
+                    .map(|e| e.eval(&get_param).max(1) as f64)
+                    .collect();
+                (a.name().to_string(), dims)
+            })
+            .collect();
+        Self {
+            stmts,
+            arrays,
+            accesses,
+        }
+    }
+}
+
+struct Walker<'a> {
+    loops: &'a [shackle_ir::Loop],
+    env: BTreeMap<String, i64>,
+    sum_extent: Vec<f64>,
+    max_extent: Vec<f64>,
+    visits: Vec<f64>,
+    budget: u64,
+}
+
+impl Walker<'_> {
+    /// Instances below loop `depth` given the enclosing `env`; records
+    /// extent statistics along the way. The innermost loop is handled
+    /// in closed form, so the walk cost excludes it.
+    fn walk(&mut self, depth: usize) -> f64 {
+        if depth == self.loops.len() {
+            return 1.0;
+        }
+        let l = &self.loops[depth];
+        let lo = eval_bound(&l.lower, &self.env, true);
+        let hi = eval_bound(&l.upper, &self.env, false);
+        if hi < lo {
+            return 0.0;
+        }
+        let extent = (hi - lo + 1) as f64;
+        self.sum_extent[depth] += extent;
+        self.max_extent[depth] = self.max_extent[depth].max(extent);
+        self.visits[depth] += 1.0;
+        if depth + 1 == self.loops.len() {
+            return extent;
+        }
+        if self.budget == 0 {
+            // budget exhausted: midpoint approximation for the rest
+            let mid = lo + (hi - lo) / 2;
+            self.env.insert(l.var.clone(), mid);
+            let inner = self.walk(depth + 1);
+            self.env.remove(&l.var);
+            return extent * inner;
+        }
+        let mut total = 0.0;
+        for v in lo..=hi {
+            self.budget = self.budget.saturating_sub(1);
+            self.env.insert(l.var.clone(), v);
+            total += self.walk(depth + 1);
+        }
+        self.env.remove(&l.var);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shackle_ir::kernels;
+
+    fn n(v: i64) -> BTreeMap<String, i64> {
+        BTreeMap::from([("N".to_string(), v)])
+    }
+
+    #[test]
+    fn matmul_counts_are_exact() {
+        let g = KernelGeometry::new(&kernels::matmul_ijk(), &n(10));
+        assert_eq!(g.stmts.len(), 1);
+        let s = &g.stmts[0];
+        assert_eq!(s.instances, 1000.0);
+        assert_eq!(s.loops.len(), 3);
+        assert!(s.loops.iter().all(|l| l.avg_extent == 10.0));
+        // C[I,J] (write + read), A[I,K], B[K,J]: 3 distinct refs, C twice
+        assert_eq!(s.refs.len(), 3);
+        let c = s.refs.iter().find(|r| r.aref.array() == "C").unwrap();
+        assert_eq!(c.occurrences, 2);
+        assert_eq!(g.accesses, 4000.0);
+        assert_eq!(g.arrays["C"], vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn cholesky_triangular_extents_average() {
+        let g = KernelGeometry::new(&kernels::cholesky_right(), &n(8));
+        // S2: J = 1..N, I = J+1..N -> sum over J of (N-J) = N(N-1)/2
+        let s2 = &g.stmts[1];
+        assert_eq!(s2.instances, 28.0);
+        // mean extent of I over the J's that reach it: 28 / 7
+        assert!((s2.extent_of("I").unwrap() - 4.0).abs() < 1e-9);
+        // S3: J, L = J+1..N, K = J+1..L -> sum_{J<L} (L-J) over pairs
+        let s3 = &g.stmts[2];
+        assert_eq!(s3.instances, 84.0); // C(8+1,3) = 84 = sum_{j<l} (l-j)
+    }
+
+    #[test]
+    fn adi_offset_lower_bound() {
+        let g = KernelGeometry::new(&kernels::adi(), &n(6));
+        // i runs 2..N: extent 5
+        let s = &g.stmts[0];
+        assert_eq!(s.extent_of("i").unwrap(), 5.0);
+    }
+}

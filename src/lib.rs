@@ -17,6 +17,7 @@
 //! | [`core`] | `shackle-core` | shackles, legality, products, code generation |
 //! | [`exec`] | `shackle-exec` | interpreter, equivalence harness |
 //! | [`memsim`] | `shackle-memsim` | cache hierarchies, MFLOPS model |
+//! | [`model`] | `shackle-model` | analytical per-level miss predictor (search first pass) |
 //! | [`kernels`] | `shackle-kernels` | native kernels, BLAS substrate, canonical shackles |
 //! | [`probe`] | `shackle-probe` | structured instrumentation: phase spans, counters, histograms |
 //!
@@ -61,6 +62,7 @@ pub use shackle_exec as exec;
 pub use shackle_ir as ir;
 pub use shackle_kernels as kernels;
 pub use shackle_memsim as memsim;
+pub use shackle_model as model;
 pub use shackle_polyhedra as polyhedra;
 pub use shackle_probe as probe;
 
@@ -90,8 +92,9 @@ pub mod prelude {
     pub use shackle_kernels::trace::{trace_execution, AddressMap, MemObserver, ELEM_BYTES};
     pub use shackle_kernels::{gen, shackles, traced};
     pub use shackle_memsim::{
-        AccessSink, Cache, CacheConfig, ConfigError, Hierarchy, LevelStats, PerfModel, StackSim,
-        Tlb, TlbConfig,
+        ground_truth, AccessSink, Cache, CacheConfig, ConfigError, GroundTruth, Hierarchy,
+        LevelStats, PerfModel, StackSim, Tlb, TlbConfig,
     };
+    pub use shackle_model::{predict, predict_with, KernelGeometry, ModelConfig, Prediction};
     pub use shackle_probe as probe;
 }
