@@ -1,11 +1,18 @@
-//! Harness performance report: tree interpreter vs compiled engine,
-//! and uncached-serial vs memoized-parallel auto-shackle search.
+//! Harness performance report: tree interpreter vs compiled bytecode
+//! engine vs native (`rustc`-compiled) tier, plus the auto-shackle
+//! search and memsim sweep pipelines.
 //!
-//! Times each evaluation kernel through both execution paths (same
-//! program, same workspace contents, `NullObserver`) and writes
-//! `BENCH_exec.json` with instances/second for each, plus the speedup.
-//! The compiled engine is the hot path under every figure sweep, so
-//! this is the number that decides how long the harness takes.
+//! Times each evaluation kernel through all three execution tiers
+//! (same program, same workspace contents) with repeated-run
+//! [`Timing`]s and writes `BENCH_exec.json`: per-kernel mean/min/max
+//! seconds per tier and speedups computed from the means. The tree
+//! interpreter is the semantics of record, so before timing, each
+//! faster tier's [`ExecStats`] and final array contents are asserted
+//! bit-identical to it. After the timed runs, every kernel is rebuilt
+//! through the native build cache and the probe counters must show
+//! zero `rustc` invocations — the warm-cache proof recorded in the
+//! artifact. Without a working `rustc` the native columns record
+//! `null` and the native speedup floor is skipped.
 //!
 //! Then times the §8 auto-shackle search (enumerate → grow → score →
 //! select) through both pipelines of `shackle_bench::searchperf` —
@@ -13,11 +20,16 @@
 //! with the wall times, the speedup, and the `PolyStats` cache
 //! counters of the memoized run.
 //!
-//! Finally times the multi-configuration cache sweep through both
+//! Then times the multi-configuration cache sweep through both
 //! simulator pipelines — the pre-stack-engine flow (re-execute the
 //! kernel and direct-simulate once per cache configuration) against
 //! capture-once + single stack pass — asserting bit-identical hit/miss
 //! counts per configuration, and writes `BENCH_memsim.json`.
+//!
+//! Every run appends one line to `BENCH_history.jsonl`: the aggregate
+//! speedups plus an environment fingerprint (CPU count,
+//! `SHACKLE_THREADS`, build profile, toolchain, git SHA), so numbers
+//! can be compared across time without conflating machines.
 //!
 //! With `--profile`, additionally runs an instrumented pass of the full
 //! pipeline (search → legality → codegen → exec → memsim) for the
@@ -28,20 +40,29 @@
 //! their artifacts are byte-identical with or without the flag.
 //!
 //! Run in release mode: `cargo run --release --bin perf_report`.
+//! `--quick` shrinks the problem sizes (and the native speedup floor)
+//! to the CI smoke grid.
 
+use shackle_bench::history;
 use shackle_bench::prelude::*;
-use shackle_bench::report::assert_speedup;
+use shackle_bench::report::{assert_speedup, Timing};
 use shackle_bench::searchperf::{auto_search, Mode, SearchOutcome};
+use shackle_exec::native::{self, NativeKernel};
 use shackle_polyhedra::cache;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-struct Row {
+/// Timed runs per tier per kernel. Five repetitions so the artifact's
+/// mean/min/max spread makes run-to-run variance visible.
+const EXEC_RUNS: usize = 5;
+
+struct ExecRow {
     kernel: &'static str,
     n: i64,
     instances: u64,
-    tree_ips: f64,
-    compiled_ips: f64,
+    tree: Timing,
+    bytecode: Timing,
+    native: Option<Timing>,
 }
 
 /// Best-of-`reps` wall-clock seconds for one closure.
@@ -55,121 +76,293 @@ fn best_secs(reps: usize, mut run: impl FnMut()) -> f64 {
     best
 }
 
-fn measure(
+/// Assert two finished workspaces are bit-identical — the same
+/// predicate the native differential tests use, applied here so the
+/// timed artifact always rides on verified-equal results.
+fn assert_ws_identical(reference: &Workspace, got: &Workspace, kernel: &str, tier: &str) {
+    for (name, x) in reference.iter() {
+        let y = got.array(name).expect("same arrays");
+        assert_eq!(x.data().len(), y.data().len(), "{kernel}/{tier}: {name}");
+        for (i, (u, v)) in x.data().iter().zip(y.data()).enumerate() {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "{kernel}/{tier}: array {name} diverges from the tree \
+                 interpreter at flat index {i}: {u} vs {v}"
+            );
+        }
+    }
+}
+
+fn measure_exec(
     kernel: &'static str,
     program: &Program,
     params: &BTreeMap<String, i64>,
     n: i64,
     init: impl Fn(&str, &[usize]) -> f64,
-) -> Row {
-    let reps = 3;
+) -> ExecRow {
     let template = Workspace::for_program(program, params, &init);
 
-    let mut stats = Default::default();
-    let tree = best_secs(reps, || {
+    // Tree interpreter: the semantics of record and the speedup
+    // denominator. One untimed run pins the reference stats and arrays.
+    let mut tree_ws = template.clone();
+    let stats = execute(program, &mut tree_ws, params, &mut NullObserver);
+    let tree = Timing::measure(EXEC_RUNS, || {
         let mut ws = template.clone();
-        stats = execute(program, &mut ws, params, &mut NullObserver);
+        execute(program, &mut ws, params, &mut NullObserver);
     });
+
     let cp = compile(program);
-    let compiled = best_secs(reps, || {
+    let mut byte_ws = template.clone();
+    let byte_stats = cp.execute(&mut byte_ws, params, &mut NullObserver);
+    assert_eq!(byte_stats, stats, "engines must agree on {kernel}");
+    assert_ws_identical(&tree_ws, &byte_ws, kernel, "bytecode");
+    let bytecode = Timing::measure(EXEC_RUNS, || {
         let mut ws = template.clone();
-        let s = cp.execute(&mut ws, params, &mut NullObserver);
-        assert_eq!(s, stats, "engines must agree on {kernel}");
+        cp.execute(&mut ws, params, &mut NullObserver);
     });
-    Row {
+
+    // Native tier: one persistent runner per kernel; the build (or
+    // cache hit) happens before the clock starts, like `compile` above.
+    let native = if native::rustc_available() {
+        let mut k = NativeKernel::spawn(program).expect("native build");
+        let mut nat_ws = template.clone();
+        let nat_stats = k.run(&mut nat_ws, params).expect("native run");
+        assert_eq!(
+            nat_stats, stats,
+            "native stats must match the interpreter on {kernel}"
+        );
+        assert_ws_identical(&tree_ws, &nat_ws, kernel, "native");
+        Some(Timing::measure(EXEC_RUNS, || {
+            let mut ws = template.clone();
+            k.run(&mut ws, params).expect("native run");
+        }))
+    } else {
+        None
+    };
+
+    ExecRow {
         kernel,
         n,
         instances: stats.instances,
-        tree_ips: stats.instances as f64 / tree,
-        compiled_ips: stats.instances as f64 / compiled,
+        tree,
+        bytecode,
+        native,
     }
 }
 
-fn main() {
+/// The exec-tier kernels: `(name, program, params, n, init)`.
+#[allow(clippy::type_complexity)]
+fn exec_kernels(
+    quick: bool,
+) -> Vec<(
+    &'static str,
+    Program,
+    BTreeMap<String, i64>,
+    i64,
+    Box<dyn Fn(&str, &[usize]) -> f64>,
+)> {
     let params_n = |n: i64| BTreeMap::from([("N".to_string(), n)]);
-    let ones = |_: &str, _: &[usize]| 1.0;
-    let mut rows = Vec::new();
+    let sz = |full: i64, small: i64| if quick { small } else { full };
+    let (mm, ch, qr, ga, ad) = (sz(64, 32), sz(64, 32), sz(48, 24), sz(64, 32), sz(96, 48));
+    vec![
+        (
+            "matmul_ijk",
+            kernels::matmul_ijk(),
+            params_n(mm),
+            mm,
+            Box::new(|_: &str, _: &[usize]| 1.0),
+        ),
+        (
+            "cholesky_right",
+            kernels::cholesky_right(),
+            params_n(ch),
+            ch,
+            Box::new(shackle_exec::verify::spd_init("A", ch as usize, 3)),
+        ),
+        (
+            "qr_householder",
+            kernels::qr_householder(),
+            params_n(qr),
+            qr,
+            Box::new(shackle_exec::verify::hash_init(3)),
+        ),
+        (
+            "gauss",
+            kernels::gauss(),
+            params_n(ga),
+            ga,
+            Box::new(shackle_exec::verify::spd_init("A", ga as usize, 5)),
+        ),
+        (
+            "adi",
+            kernels::adi(),
+            params_n(ad),
+            ad,
+            Box::new(|name: &str, idx: &[usize]| {
+                if name == "B" {
+                    2.0 + (idx[0] % 7) as f64
+                } else {
+                    (idx[0] % 5) as f64
+                }
+            }),
+        ),
+    ]
+}
 
-    let n = 64;
-    rows.push(measure(
-        "matmul_ijk",
-        &kernels::matmul_ijk(),
-        &params_n(n),
-        n,
-        ones,
-    ));
-    rows.push(measure(
-        "cholesky_right",
-        &kernels::cholesky_right(),
-        &params_n(n),
-        n,
-        shackle_exec::verify::spd_init("A", n as usize, 3),
-    ));
-    rows.push(measure(
-        "qr_householder",
-        &kernels::qr_householder(),
-        &params_n(48),
-        48,
-        shackle_exec::verify::hash_init(3),
-    ));
-    rows.push(measure(
-        "gauss",
-        &kernels::gauss(),
-        &params_n(n),
-        n,
-        shackle_exec::verify::spd_init("A", n as usize, 5),
-    ));
-    rows.push(measure(
-        "adi",
-        &kernels::adi(),
-        &params_n(96),
-        96,
-        |name: &str, idx: &[usize]| {
-            if name == "B" {
-                2.0 + (idx[0] % 7) as f64
-            } else {
-                (idx[0] % 5) as f64
-            }
-        },
-    ));
+fn timing_or_null(t: &Option<Timing>) -> String {
+    t.as_ref().map_or_else(|| "null".into(), Timing::to_json)
+}
+
+fn speedup_or_null(num: f64, t: &Option<Timing>) -> String {
+    t.as_ref()
+        .map_or_else(|| "null".into(), |t| format!("{:.3}", num / t.mean))
+}
+
+/// Tree vs bytecode vs native report. Returns the aggregate JSON object
+/// recorded in the history line.
+fn exec_report(quick: bool) -> String {
+    let specs = exec_kernels(quick);
+    let have_native = native::rustc_available();
+    let mut rows = Vec::new();
+    for (kernel, program, params, n, init) in &specs {
+        rows.push(measure_exec(kernel, program, params, *n, init));
+    }
+
+    // Warm-cache proof: every kernel above was just built, so a rebuild
+    // pass must be all cache hits — zero rustc invocations, counted by
+    // the probe (Counter reads need no instrumentation toggle).
+    let warm = if have_native {
+        let rustc0 = probe::counter("native.rustc_invocations").get();
+        let hits0 = probe::counter("native.cache_hits").get();
+        for (_, program, _, _, _) in &specs {
+            native::build(program).expect("warm rebuild");
+        }
+        let spawned = probe::counter("native.rustc_invocations").get() - rustc0;
+        let hits = probe::counter("native.cache_hits").get() - hits0;
+        assert_eq!(
+            spawned, 0,
+            "warm build cache must not spawn rustc ({spawned} invocations)"
+        );
+        format!(
+            "{{\"rebuilds\": {}, \"rustc_invocations\": {spawned}, \"cache_hits\": {hits}}}",
+            specs.len()
+        )
+    } else {
+        "null".to_string()
+    };
 
     println!(
-        "{:<16} {:>6} {:>10} {:>16} {:>16} {:>8}",
-        "kernel", "n", "instances", "tree inst/s", "compiled inst/s", "speedup"
+        "{:<16} {:>5} {:>10} {:>11} {:>11} {:>11} {:>7} {:>8}",
+        "kernel", "n", "instances", "tree s", "bytecode s", "native s", "byte x", "native x"
     );
     let mut report = BenchReport::new();
     report.section("benchmarks");
     for r in &rows {
-        let speedup = r.compiled_ips / r.tree_ips;
+        let byte_speedup = r.tree.mean / r.bytecode.mean;
+        assert_speedup(r.kernel, byte_speedup, 1.0);
         println!(
-            "{:<16} {:>6} {:>10} {:>16.0} {:>16.0} {:>7.2}x",
-            r.kernel, r.n, r.instances, r.tree_ips, r.compiled_ips, speedup
+            "{:<16} {:>5} {:>10} {:>11.4} {:>11.4} {:>11} {:>6.2}x {:>8}",
+            r.kernel,
+            r.n,
+            r.instances,
+            r.tree.mean,
+            r.bytecode.mean,
+            r.native
+                .map_or_else(|| "skipped".into(), |t| format!("{:.4}", t.mean)),
+            byte_speedup,
+            r.native
+                .map_or_else(|| "-".into(), |t| format!("{:.1}x", r.tree.mean / t.mean)),
         );
-        assert_speedup(r.kernel, speedup, 1.0);
         report.row(format!(
             "{{\"kernel\": \"{}\", \"n\": {}, \"instances\": {}, \
-             \"tree_instances_per_sec\": {:.0}, \
-             \"compiled_instances_per_sec\": {:.0}, \
-             \"speedup\": {:.3}}}",
-            r.kernel, r.n, r.instances, r.tree_ips, r.compiled_ips, speedup,
+             \"tree\": {}, \"bytecode\": {}, \"native\": {}, \
+             \"bytecode_speedup\": {:.3}, \"native_speedup\": {}}}",
+            r.kernel,
+            r.n,
+            r.instances,
+            r.tree.to_json(),
+            r.bytecode.to_json(),
+            timing_or_null(&r.native),
+            byte_speedup,
+            speedup_or_null(r.tree.mean, &r.native),
         ));
+    }
+
+    let tree_secs: f64 = rows.iter().map(|r| r.tree.mean).sum();
+    let byte_secs: f64 = rows.iter().map(|r| r.bytecode.mean).sum();
+    let byte_agg = tree_secs / byte_secs;
+    let native_secs: Option<f64> = rows
+        .iter()
+        .map(|r| r.native.map(|t| t.mean))
+        .collect::<Option<Vec<f64>>>()
+        .map(|v| v.iter().sum());
+    let native_agg = native_secs.map(|s| tree_secs / s);
+    assert_speedup("bytecode engine (aggregate)", byte_agg, 1.0);
+    match native_agg {
+        Some(agg) => {
+            // The headline number: quick mode uses small sizes where
+            // pipe I/O is a larger share, so its floor is lower.
+            let floor = if quick { 3.0 } else { 20.0 };
+            assert_speedup("native tier (aggregate)", agg, floor);
+            println!(
+                "{:<16} {:>16} {:>11.4} {:>11.4} {:>11.4} {:>6.2}x {:>7.1}x",
+                "aggregate",
+                "",
+                tree_secs,
+                byte_secs,
+                native_secs.expect("native timed"),
+                byte_agg,
+                agg
+            );
+        }
+        None => println!("native tier skipped: no working rustc on PATH"),
+    }
+
+    let aggregate = format!(
+        "{{\"tree_secs\": {tree_secs:.6}, \"bytecode_secs\": {byte_secs:.6}, \
+         \"native_secs\": {}, \"bytecode_speedup\": {byte_agg:.3}, \
+         \"native_speedup\": {}}}",
+        native_secs.map_or_else(|| "null".into(), |s| format!("{s:.6}")),
+        native_agg.map_or_else(|| "null".into(), |s| format!("{s:.3}")),
+    );
+    report.field_raw("aggregate", aggregate.clone());
+    report.field_raw("warm_cache", warm);
+    if !have_native {
+        report.field_str(
+            "native_note",
+            "native tier skipped: rustc unavailable in this environment",
+        );
     }
     report
         .write("BENCH_exec.json")
         .expect("write BENCH_exec.json");
-    println!("\nwrote BENCH_exec.json");
+    println!("wrote BENCH_exec.json");
+    aggregate
+}
 
-    search_report();
-    memsim_report();
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let exec_agg = exec_report(quick);
+    let search_agg = search_report();
+    let memsim_agg = memsim_report();
 
     // Model-vs-simulate sweep (BENCH_model.json). `--quick` shrinks it
     // to the CI smoke grid so the whole report fits in a CI minute.
-    let quick = std::env::args().any(|a| a == "--quick");
     shackle_bench::modelperf::run(&shackle_bench::modelperf::SweepOptions {
         quick,
         runs: if quick { 1 } else { 5 },
         ..Default::default()
     });
+
+    // One history line per run: the aggregates above plus where they
+    // were measured.
+    let env = history::EnvFingerprint::capture();
+    let aggregates =
+        format!("{{\"exec\": {exec_agg}, \"search\": {search_agg}, \"memsim\": {memsim_agg}}}");
+    history::append("BENCH_history.jsonl", &env, &aggregates).expect("append BENCH_history.jsonl");
+    println!("appended BENCH_history.jsonl ({})", env.to_json());
 
     if std::env::args().any(|a| a == "--profile") {
         profile_report();
@@ -237,7 +430,7 @@ fn memsim_one(
     }
 }
 
-fn memsim_report() {
+fn memsim_report() -> String {
     let kb = 1024;
     let grid = shackle_bench::memsweep::config_grid(
         128,
@@ -305,17 +498,16 @@ fn memsim_report() {
         "aggregate", "", total_base, total_stack, aggregate
     );
     assert_speedup("memsim stack engine (aggregate)", aggregate, 1.0);
-    report.field_raw(
-        "aggregate",
-        format!(
-            "{{\"baseline_secs\": {total_base:.6}, \
-             \"stack_secs\": {total_stack:.6}, \"speedup\": {aggregate:.3}}}"
-        ),
+    let aggregate_json = format!(
+        "{{\"baseline_secs\": {total_base:.6}, \
+         \"stack_secs\": {total_stack:.6}, \"speedup\": {aggregate:.3}}}"
     );
+    report.field_raw("aggregate", aggregate_json.clone());
     report
         .write("BENCH_memsim.json")
         .expect("write BENCH_memsim.json");
     println!("wrote BENCH_memsim.json");
+    aggregate_json
 }
 
 struct SearchRow {
@@ -372,7 +564,7 @@ fn search_one(
     }
 }
 
-fn search_report() {
+fn search_report() -> String {
     let w16 = SearchConfig {
         width: 16,
         ..Default::default()
@@ -451,17 +643,16 @@ fn search_report() {
          survivors) removed the mode-independent scoring floor that used \
          to dominate its end-to-end time",
     );
-    report.field_raw(
-        "aggregate",
-        format!(
-            "{{\"baseline_secs\": {total_base:.6}, \
-             \"memoized_secs\": {total_memo:.6}, \"speedup\": {aggregate:.3}}}"
-        ),
+    let aggregate_json = format!(
+        "{{\"baseline_secs\": {total_base:.6}, \
+         \"memoized_secs\": {total_memo:.6}, \"speedup\": {aggregate:.3}}}"
     );
+    report.field_raw("aggregate", aggregate_json.clone());
     report
         .write("BENCH_search.json")
         .expect("write BENCH_search.json");
     println!("wrote BENCH_search.json");
+    aggregate_json
 }
 
 fn print_search_row(r: &SearchRow) {

@@ -30,6 +30,7 @@ use std::collections::BTreeMap;
 /// implementation; `SHACKLE_THREADS` controls both.
 pub use shackle_core::par;
 
+pub mod history;
 pub mod memsweep;
 pub mod modelperf;
 pub mod prelude;

@@ -9,8 +9,8 @@
 pub use shackle_core::prelude::*;
 
 pub use shackle_exec::{
-    compile, execute, execute_compiled, verify, Access, CompiledProgram, ExecStats, NullObserver,
-    Observer, Workspace,
+    compile, execute, execute_auto, execute_auto_traced, execute_compiled, verify, Access,
+    CompiledProgram, ExecStats, NativeKernel, NullObserver, Observer, Tier, Workspace,
 };
 pub use shackle_kernels::compact::{CaptureObserver, CompactTrace};
 pub use shackle_kernels::trace::{

@@ -572,7 +572,15 @@ impl CompiledProgram {
         let mut stats = ExecStats::default();
         let mut regs = vec![0.0f64; self.stmts.iter().map(|s| s.n_regs).max().unwrap_or(1)];
         let mut hi_cache = vec![0i64; self.n_loops];
-        let mut buf: Vec<Access<'_>> = Vec::with_capacity(BATCH + 64);
+        // Structure-of-arrays access buffer: packed `(offset << 8) |
+        // (array << 1) | write` codes (8 bytes per access instead of a
+        // 24-byte `Access`), decoded into a scratch batch only at flush.
+        assert!(
+            self.arrays.len() < 128,
+            "packed access codes carry a 7-bit array index"
+        );
+        let mut buf: Vec<u64> = Vec::with_capacity(BATCH + 64);
+        let mut scratch: Vec<Access<'_>> = Vec::with_capacity(BATCH + 64);
 
         let mut pc = 0usize;
         while pc < self.ops.len() {
@@ -627,11 +635,7 @@ impl CompiledProgram {
                                 let r = &ln.loads[re as usize];
                                 let off = r.offset(&frame, &self.arrays);
                                 regs[dst as usize] = arrays[r.array].data()[off];
-                                buf.push(Access {
-                                    array: &self.arrays[r.array],
-                                    offset: off,
-                                    write: false,
-                                });
+                                buf.push(((off as u64) << 8) | ((r.array as u64) << 1));
                                 stats.loads += 1;
                             }
                             SOp::Add { dst, a, b } => {
@@ -655,16 +659,12 @@ impl CompiledProgram {
                     }
                     let off = ln.write.offset(&frame, &self.arrays);
                     arrays[ln.write.array].data_mut()[off] = regs[0];
-                    buf.push(Access {
-                        array: &self.arrays[ln.write.array],
-                        offset: off,
-                        write: true,
-                    });
+                    buf.push(((off as u64) << 8) | ((ln.write.array as u64) << 1) | 1);
                     stats.stores += 1;
                     stats.instances += 1;
                     stats.flops += st.flops;
                     if buf.len() >= BATCH {
-                        observer.record_many(&buf);
+                        flush_codes(&self.arrays, &buf, &mut scratch, observer);
                         buf.clear();
                     }
                     pc += 1;
@@ -672,11 +672,28 @@ impl CompiledProgram {
             }
         }
         if !buf.is_empty() {
-            observer.record_many(&buf);
+            flush_codes(&self.arrays, &buf, &mut scratch, observer);
         }
         crate::publish_exec_stats(&stats);
         stats
     }
+}
+
+/// Decode one batch of packed access codes into `scratch` and deliver
+/// it through [`Observer::record_many`].
+fn flush_codes<'a>(
+    arrays: &'a [String],
+    codes: &[u64],
+    scratch: &mut Vec<Access<'a>>,
+    observer: &mut dyn Observer,
+) {
+    scratch.clear();
+    scratch.extend(codes.iter().map(|&c| Access {
+        array: &arrays[((c & 0xff) >> 1) as usize],
+        offset: (c >> 8) as usize,
+        write: c & 1 == 1,
+    }));
+    observer.record_many(scratch);
 }
 
 /// Compile and execute in one call — the drop-in fast replacement for

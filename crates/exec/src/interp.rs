@@ -30,18 +30,12 @@ pub struct Access<'a> {
 ///
 /// Implement [`Observer::record`] (the per-element entry point);
 /// override [`Observer::record_many`] where per-batch work can be
-/// amortized — the compiled engine buffers accesses and delivers them
-/// through it, eliminating one virtual call per element. The old
-/// `access` / `access_batch` names survive as deprecated forwards, so
-/// pre-redesign observers that override them keep working unchanged;
-/// an implementation must override at least one of `record` /
-/// `access` (the defaults forward to each other).
+/// amortized — the compiled engine and the native tier buffer accesses
+/// and deliver them through it, eliminating one virtual call per
+/// element.
 pub trait Observer {
     /// Called once per element load/store.
-    fn record(&mut self, access: Access<'_>) {
-        #[allow(deprecated)]
-        self.access(access);
-    }
+    fn record(&mut self, access: Access<'_>);
 
     /// Called with a chunk of consecutive accesses in program order.
     /// The default forwards each element to [`Observer::record`].
@@ -49,18 +43,6 @@ pub trait Observer {
         for &a in accesses {
             self.record(a);
         }
-    }
-
-    /// Deprecated name for [`Observer::record`].
-    #[deprecated(since = "0.1.0", note = "renamed to `Observer::record`")]
-    fn access(&mut self, access: Access<'_>) {
-        self.record(access);
-    }
-
-    /// Deprecated name for [`Observer::record_many`].
-    #[deprecated(since = "0.1.0", note = "renamed to `Observer::record_many`")]
-    fn access_batch(&mut self, accesses: &[Access<'_>]) {
-        self.record_many(accesses);
     }
 }
 
@@ -440,32 +422,6 @@ mod tests {
                 ("C".to_string(), 0, true),
             ]
         );
-    }
-
-    #[test]
-    fn legacy_observer_names_still_receive_accesses() {
-        // a pre-redesign observer overriding only the deprecated
-        // `access` hook: the forwarding defaults must still feed it
-        struct Legacy(u64);
-        #[allow(deprecated)]
-        impl Observer for Legacy {
-            fn access(&mut self, _a: Access<'_>) {
-                self.0 += 1;
-            }
-        }
-        let p = kernels::matmul_ijk();
-        let mut ws = Workspace::for_program(&p, &params(2), |_, _| 1.0);
-        let mut obs = Legacy(0);
-        let stats = execute(&p, &mut ws, &params(2), &mut obs);
-        assert_eq!(obs.0, stats.loads + stats.stores);
-        // the deprecated batch name forwards into the same path
-        #[allow(deprecated)]
-        obs.access_batch(&[Access {
-            array: "C",
-            offset: 0,
-            write: false,
-        }]);
-        assert_eq!(obs.0, stats.loads + stats.stores + 1);
     }
 
     #[test]

@@ -38,11 +38,13 @@ mod interp;
 
 pub mod compile;
 pub mod multipass;
+pub mod native;
 pub mod verify;
 
 pub use array::{DenseArray, Workspace};
 pub use compile::{compile, execute_compiled, CompiledProgram, InstanceRunner};
 pub use interp::{execute, Access, ExecStats, NullObserver, Observer};
+pub use native::{execute_auto, execute_auto_traced, NativeError, NativeKernel, Tier};
 
 use std::sync::LazyLock;
 

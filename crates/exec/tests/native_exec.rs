@@ -1,0 +1,227 @@
+//! Differential tests for the native execution tier: a rustc-compiled
+//! kernel must be indistinguishable from the tree interpreter and the
+//! bytecode engine — bit-identical workspaces, identical [`ExecStats`],
+//! and (in traced mode) the identical ordered access sequence — on
+//! every in-repo kernel and on compiler-generated shackled programs.
+//!
+//! Every test skips gracefully when `rustc` is unavailable in the
+//! sandbox.
+
+use proptest::prelude::*;
+use shackle_exec::native::rustc_available;
+use shackle_exec::{
+    compile, execute, execute_auto, execute_auto_traced, verify, Access, NativeKernel, Observer,
+    Tier, Workspace,
+};
+use shackle_ir::Program;
+use std::collections::BTreeMap;
+
+fn params(n: i64) -> BTreeMap<String, i64> {
+    BTreeMap::from([("N".to_string(), n)])
+}
+
+#[derive(Default)]
+struct Collect(Vec<(String, usize, bool)>);
+
+impl Observer for Collect {
+    fn record(&mut self, a: Access) {
+        self.0.push((a.array.to_string(), a.offset, a.write));
+    }
+}
+
+type Init = Box<dyn Fn(&str, &[usize]) -> f64>;
+
+fn init_for(kernel: &str, n: i64, seed: u64) -> Init {
+    if kernel.contains("cholesky") || kernel == "gauss" {
+        Box::new(verify::spd_init("A", n as usize, seed))
+    } else {
+        Box::new(verify::hash_init(seed))
+    }
+}
+
+fn assert_bit_identical(a: &Workspace, b: &Workspace, what: &str) {
+    for (name, x) in a.iter() {
+        let y = b.array(name).unwrap();
+        assert_eq!(x.data().len(), y.data().len());
+        for (i, (u, v)) in x.data().iter().zip(y.data()).enumerate() {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "{what}: array {name} diverges at flat index {i}: {u} vs {v}"
+            );
+        }
+    }
+}
+
+/// Runs `program` through the tree interpreter, the bytecode engine and
+/// the native tier (plain *and* traced, on one persistent runner) and
+/// asserts all four executions are indistinguishable.
+fn assert_native_agrees(
+    program: &Program,
+    p: &BTreeMap<String, i64>,
+    init: &dyn Fn(&str, &[usize]) -> f64,
+) {
+    let mut tree_ws = Workspace::for_program(program, p, init);
+    let mut tree_trace = Collect::default();
+    let tree_stats = execute(program, &mut tree_ws, p, &mut tree_trace);
+
+    let mut byte_ws = Workspace::for_program(program, p, init);
+    let byte_stats = compile(program).execute(&mut byte_ws, p, &mut shackle_exec::NullObserver);
+    assert_eq!(tree_stats, byte_stats);
+    assert_bit_identical(&tree_ws, &byte_ws, "bytecode vs tree");
+
+    let mut kernel = NativeKernel::spawn(program).expect("native build");
+
+    // Plain run: stats reconstructed from counters, arrays bit-identical.
+    let mut nat_ws = Workspace::for_program(program, p, init);
+    let nat_stats = kernel.run(&mut nat_ws, p).expect("native run");
+    assert_eq!(tree_stats, nat_stats, "native stats vs tree");
+    assert_bit_identical(&tree_ws, &nat_ws, "native vs tree");
+
+    // Traced run on the same runner process: the exact interpreter
+    // access sequence comes back over the pipe.
+    let mut nat_ws2 = Workspace::for_program(program, p, init);
+    let mut nat_trace = Collect::default();
+    let nat_stats2 = kernel
+        .run_traced(&mut nat_ws2, p, &mut nat_trace)
+        .expect("native traced run");
+    assert_eq!(tree_stats, nat_stats2, "native traced stats vs tree");
+    assert_eq!(
+        tree_trace.0, nat_trace.0,
+        "native trace must equal the interpreter's access sequence"
+    );
+    assert_bit_identical(&tree_ws, &nat_ws2, "native traced vs tree");
+}
+
+type KernelEntry = (&'static str, fn() -> Program);
+
+const KERNELS: [KernelEntry; 9] = [
+    ("matmul_ijk", shackle_ir::kernels::matmul_ijk),
+    ("cholesky_right", shackle_ir::kernels::cholesky_right),
+    ("cholesky_left", shackle_ir::kernels::cholesky_left),
+    ("adi", shackle_ir::kernels::adi),
+    ("gauss", shackle_ir::kernels::gauss),
+    ("qr_householder", shackle_ir::kernels::qr_householder),
+    ("banded_cholesky", shackle_ir::kernels::banded_cholesky),
+    ("backsolve", shackle_ir::kernels::backsolve),
+    ("gauss_seidel_1d", shackle_ir::kernels::gauss_seidel_1d),
+];
+
+fn kernel_params(name: &str, n: i64, seed: u64) -> BTreeMap<String, i64> {
+    let mut p = params(n);
+    if name == "banded_cholesky" {
+        p.insert("P".to_string(), 1 + seed as i64 % n);
+    }
+    if name == "gauss_seidel_1d" {
+        p.insert("S".to_string(), 2);
+    }
+    p
+}
+
+/// Every in-repo kernel at a fixed size: the native tier is
+/// indistinguishable from interpreter and bytecode engine.
+#[test]
+fn native_matches_all_kernels() {
+    if !rustc_available() {
+        eprintln!("skipping: rustc unavailable");
+        return;
+    }
+    for (name, mk) in KERNELS {
+        let program = mk();
+        let n = 7;
+        let p = kernel_params(name, n, 3);
+        let init = init_for(name, n, 3);
+        assert_native_agrees(&program, &p, &*init);
+    }
+}
+
+/// Shackled (scanned) programs with guards and divided bounds run
+/// natively too.
+#[test]
+fn native_matches_scanned_cholesky() {
+    if !rustc_available() {
+        eprintln!("skipping: rustc unavailable");
+        return;
+    }
+    use shackle_core::{scan::generate_scanned, Blocking, Shackle};
+    let program = shackle_ir::kernels::cholesky_right();
+    let s = Shackle::on_writes(&program, Blocking::square("A", 2, &[1, 0], 3));
+    let scanned = generate_scanned(&program, &[s]);
+    let init = verify::spd_init("A", 8, 5);
+    assert_native_agrees(&scanned, &params(8), &init);
+}
+
+/// Tier selection: `execute_auto` lands on the native tier when rustc
+/// exists and produces the interpreter's exact result.
+#[test]
+fn execute_auto_selects_native() {
+    let program = shackle_ir::kernels::matmul_ijk();
+    let p = params(6);
+    let init = verify::hash_init(1);
+
+    let mut tree_ws = Workspace::for_program(&program, &p, &init);
+    let mut tree_trace = Collect::default();
+    let tree_stats = execute(&program, &mut tree_ws, &p, &mut tree_trace);
+
+    let mut ws = Workspace::for_program(&program, &p, &init);
+    let (stats, tier) = execute_auto(&program, &mut ws, &p);
+    if rustc_available() {
+        assert_eq!(tier, Tier::Native);
+    } else {
+        assert_eq!(tier, Tier::Bytecode);
+    }
+    assert_eq!(stats, tree_stats);
+    assert_bit_identical(&tree_ws, &ws, "execute_auto vs tree");
+
+    let mut ws2 = Workspace::for_program(&program, &p, &init);
+    let mut trace = Collect::default();
+    let (stats2, _tier2) = execute_auto_traced(&program, &mut ws2, &p, &mut trace);
+    assert_eq!(stats2, tree_stats);
+    assert_eq!(trace.0, tree_trace.0);
+    assert_bit_identical(&tree_ws, &ws2, "execute_auto_traced vs tree");
+}
+
+/// A persistent runner survives many runs with varying parameters —
+/// the property the bench harness leans on for its ≥5 timed runs.
+#[test]
+fn persistent_runner_many_runs() {
+    if !rustc_available() {
+        eprintln!("skipping: rustc unavailable");
+        return;
+    }
+    let program = shackle_ir::kernels::matmul_ijk();
+    let mut kernel = NativeKernel::spawn(&program).expect("native build");
+    for n in [1i64, 3, 5, 8, 8, 2] {
+        let p = params(n);
+        let init = verify::hash_init(n as u64);
+        let mut tree_ws = Workspace::for_program(&program, &p, &init);
+        let tree_stats = execute(&program, &mut tree_ws, &p, &mut shackle_exec::NullObserver);
+        let mut ws = Workspace::for_program(&program, &p, &init);
+        let stats = kernel.run(&mut ws, &p).expect("native run");
+        assert_eq!(stats, tree_stats, "n={n}");
+        assert_bit_identical(&tree_ws, &ws, "persistent runner");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random kernel, size and seed: the native tier matches the tree
+    /// interpreter bit-for-bit. (The build cache keeps this cheap —
+    /// each kernel's runner compiles once across the whole sweep.)
+    #[test]
+    fn native_matches_tree_on_random_sizes(
+        k in 0usize..KERNELS.len(),
+        n in 1i64..10,
+        seed in 0u64..50,
+    ) {
+        if !rustc_available() {
+            return;
+        }
+        let (name, mk) = KERNELS[k];
+        let program = mk();
+        let p = kernel_params(name, n, seed);
+        let init = init_for(name, n, seed);
+        assert_native_agrees(&program, &p, &*init);
+    }
+}

@@ -5,7 +5,7 @@
 //! [`CompactTrace`] captures that stream once — as 32-bit IDs at a fixed
 //! power-of-two granularity — and replays it into any
 //! [`AccessSink`] via [`CompactTrace::replay_into`]: direct
-//! [`Hierarchy`]s, standalone [`Cache`]s, or a [`StackSim`] that
+//! [`Hierarchy`](shackle_memsim::Hierarchy)s, standalone [`Cache`](shackle_memsim::Cache)s, or a [`StackSim`](shackle_memsim::StackSim) that
 //! derives a whole configuration family from a single pass.
 //!
 //! Quantizing to a granularity `g` that divides every line and page
@@ -20,7 +20,10 @@
 use crate::trace::{AddressMap, ELEM_BYTES};
 use shackle_exec::{Access, ExecStats, Observer, Workspace};
 use shackle_ir::Program;
-use shackle_memsim::{AccessSink, Cache, Hierarchy, StackSim};
+#[cfg(test)]
+use shackle_memsim::{Cache, Hierarchy, StackSim};
+
+use shackle_memsim::AccessSink;
 use std::collections::BTreeMap;
 
 /// A compact, immutable-once-captured stream of memory-access IDs.
@@ -97,7 +100,7 @@ impl CompactTrace {
     /// the original live-traced execution, provided the capture
     /// granularity divides the sink's (see
     /// [`AccessSink::granularity`]). This is the one replay entry
-    /// point: direct [`Cache`]s, [`Hierarchy`]s, [`StackSim`]s and
+    /// point: direct [`Cache`](shackle_memsim::Cache)s, [`Hierarchy`](shackle_memsim::Hierarchy)s, [`StackSim`](shackle_memsim::StackSim)s and
     /// custom sinks all go through it.
     ///
     /// # Panics
@@ -124,24 +127,6 @@ impl CompactTrace {
             }
             sink.push_many(&buf[..chunk.len()]);
         }
-    }
-
-    /// Replay into a [`Hierarchy`].
-    #[deprecated(since = "0.1.0", note = "use the unified `CompactTrace::replay_into`")]
-    pub fn replay(&self, h: &mut Hierarchy) {
-        self.replay_into(h);
-    }
-
-    /// Replay into a standalone [`Cache`].
-    #[deprecated(since = "0.1.0", note = "use the unified `CompactTrace::replay_into`")]
-    pub fn replay_cache(&self, c: &mut Cache) {
-        self.replay_into(c);
-    }
-
-    /// Feed the trace through a [`StackSim`] in one pass.
-    #[deprecated(since = "0.1.0", note = "use the unified `CompactTrace::replay_into`")]
-    pub fn replay_stack(&self, s: &mut StackSim) {
-        self.replay_into(s);
     }
 
     /// Execute `program` once through the compiled engine, capturing
@@ -242,31 +227,6 @@ mod tests {
         trace.replay_into(&mut replayed);
         assert_eq!(replayed.cycles(), live.cycles());
         assert_eq!(replayed.level_stats(), live.level_stats());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_replay_names_still_forward() {
-        let p = kernels::matmul_ijk();
-        let (_, trace) = CompactTrace::capture(&p, &params(8), |_, _| 1.0);
-        let cfg = CacheConfig {
-            size: 1024,
-            line: 64,
-            assoc: 2,
-            latency: 0,
-        };
-        let (mut old, mut new) = (Cache::new(cfg), Cache::new(cfg));
-        trace.replay_cache(&mut old);
-        trace.replay_into(&mut new);
-        assert_eq!(old.stats(), new.stats());
-        let (mut h_old, mut h_new) = (Hierarchy::sp2_thin_node(), Hierarchy::sp2_thin_node());
-        trace.replay(&mut h_old);
-        trace.replay_into(&mut h_new);
-        assert_eq!(h_old.level_stats(), h_new.level_stats());
-        let (mut s_old, mut s_new) = (StackSim::new(64, &[cfg]), StackSim::new(64, &[cfg]));
-        trace.replay_stack(&mut s_old);
-        trace.replay_into(&mut s_new);
-        assert_eq!(s_old.stats_for(&cfg), s_new.stats_for(&cfg));
     }
 
     #[test]

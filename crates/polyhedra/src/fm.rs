@@ -169,8 +169,10 @@ pub(crate) fn eliminate_tracked(
     budget: &Budget,
 ) -> Result<(System, bool), PolyError> {
     // Equality rows are split into a Geq pair; everything else is
-    // partitioned by reference so the (hot) all-inequality case clones a
-    // row only when it actually enters the output.
+    // partitioned *by index* into pooled scratch buffers (indices below
+    // `nrows` name system rows, indices at or above it name splits), so
+    // the (hot) all-inequality case clones a row only when it actually
+    // enters the output and allocates nothing in steady state.
     let mut splits: Vec<Row> = Vec::new();
     for r in sys.rows() {
         if r.rel == Rel::Eq && r.coeffs[idx] != 0 {
@@ -182,16 +184,25 @@ pub(crate) fn eliminate_tracked(
             splits.push(neg);
         }
     }
-    let mut lowers: Vec<&Row> = Vec::new();
-    let mut uppers: Vec<&Row> = Vec::new();
-    let mut rest: Vec<&Row> = Vec::new();
-    let mut split_iter = splits.iter();
-    for r in sys.rows() {
+    let nrows = u32::try_from(sys.rows().len()).expect("row count fits u32");
+    let row_at = |i: u32| -> &Row {
+        if i < nrows {
+            &sys.rows()[i as usize]
+        } else {
+            &splits[(i - nrows) as usize]
+        }
+    };
+    let mut lowers = crate::scratch::idx_vec();
+    let mut uppers = crate::scratch::idx_vec();
+    let mut rest = crate::scratch::idx_vec();
+    let mut split_cursor = 0u32;
+    for (ri, r) in sys.rows().iter().enumerate() {
         let c = r.coeffs[idx];
         if r.rel == Rel::Eq && c != 0 {
-            let pos = split_iter.next().expect("split pair");
-            let neg = split_iter.next().expect("split pair");
-            if pos.coeffs[idx] > 0 {
+            let pos = nrows + split_cursor;
+            let neg = nrows + split_cursor + 1;
+            split_cursor += 2;
+            if row_at(pos).coeffs[idx] > 0 {
                 lowers.push(pos);
                 uppers.push(neg);
             } else {
@@ -199,11 +210,11 @@ pub(crate) fn eliminate_tracked(
                 lowers.push(neg);
             }
         } else if c == 0 {
-            rest.push(r);
+            rest.push(ri as u32);
         } else if c > 0 {
-            lowers.push(r);
+            lowers.push(ri as u32);
         } else {
-            uppers.push(r);
+            uppers.push(ri as u32);
         }
     }
 
@@ -212,8 +223,8 @@ pub(crate) fn eliminate_tracked(
         out.set_contradiction();
         return Ok((out, true));
     }
-    for r in rest {
-        out.push_row(r.clone());
+    for &ri in rest.iter() {
+        out.push_row(row_at(ri).clone());
     }
     crate::cache::note_fm_combined((lowers.len() * uppers.len()) as u64);
     let dark = shadow == Shadow::Dark;
@@ -221,9 +232,11 @@ pub(crate) fn eliminate_tracked(
     // row, so they skip the unreduced i64 fast path entirely.
     let fast_ok = budget.max_coeff == i64::MAX;
     let mut pairwise_exact = true;
-    'pairs: for lo in &lowers {
+    'pairs: for &li in lowers.iter() {
+        let lo = row_at(li);
         let a = lo.coeffs[idx]; // > 0
-        for up in &uppers {
+        for &ui in uppers.iter() {
+            let up = row_at(ui);
             let b = up.coeffs[idx].checked_neg().ok_or(PolyError::Overflow {
                 context: "fm upper coefficient",
             })?; // > 0
@@ -322,16 +335,20 @@ pub fn try_project_onto(
         }
         // find next variable to eliminate, preferring exact unit-equality
         // substitutions, then exact FM, then inexact FM with lowest cost
-        let candidates: Vec<usize> = (0..s.vars().len())
-            .filter(|&i| !keep.contains(&s.vars()[i].as_str()))
-            .collect();
+        let mut candidates = crate::scratch::idx_vec();
+        candidates.extend(
+            (0..s.vars().len())
+                .filter(|&i| !keep.contains(&s.vars()[i].as_str()))
+                .map(|i| i as u32),
+        );
         if candidates.is_empty() {
             break;
         }
         // unit equality substitution
         let mut best: Option<(usize, usize, bool)> = None; // (idx, cost, exact)
         let mut subst: Option<usize> = None;
-        for &idx in &candidates {
+        for &idx in candidates.iter() {
+            let idx = idx as usize;
             let (lo, hi) = bound_profile(&s, idx);
             if lo == 0 && hi == 0 {
                 // unused: just drop

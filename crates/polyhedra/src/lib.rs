@@ -47,6 +47,7 @@
 
 mod constraint;
 mod expr;
+mod scratch;
 mod system;
 
 pub mod audit;

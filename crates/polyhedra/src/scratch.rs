@@ -1,0 +1,81 @@
+//! Thread-local scratch pool for hot-path intermediates.
+//!
+//! FM elimination classifies every row and projection enumerates
+//! candidate columns on every call; at search depth that is thousands
+//! of small, short-lived `Vec`s per polyhedral query. The pool hands
+//! out cleared index buffers that are returned on drop and reused per
+//! thread, so the steady state allocates nothing.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Buffers kept per thread; anything beyond this is simply freed.
+const MAX_POOLED: usize = 32;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A pooled `Vec<u32>`: handed out empty, returned to the thread's pool
+/// on drop.
+pub(crate) struct IdxVec(Vec<u32>);
+
+/// Borrow a cleared index buffer from the thread-local pool.
+pub(crate) fn idx_vec() -> IdxVec {
+    IdxVec(POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default())
+}
+
+impl Drop for IdxVec {
+    fn drop(&mut self) {
+        let mut v = std::mem::take(&mut self.0);
+        v.clear();
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(v);
+            }
+        });
+    }
+}
+
+impl Deref for IdxVec {
+    type Target = Vec<u32>;
+    fn deref(&self) -> &Vec<u32> {
+        &self.0
+    }
+}
+
+impl DerefMut for IdxVec {
+    fn deref_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused_and_cleared() {
+        let cap_after_use;
+        {
+            let mut v = idx_vec();
+            v.extend(0..100);
+            cap_after_use = v.capacity();
+        }
+        let v2 = idx_vec();
+        assert!(v2.is_empty(), "pooled buffer must come back cleared");
+        assert_eq!(
+            v2.capacity(),
+            cap_after_use,
+            "pooled buffer must keep its allocation"
+        );
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let many: Vec<IdxVec> = (0..2 * MAX_POOLED).map(|_| idx_vec()).collect();
+        drop(many);
+        POOL.with(|p| assert!(p.borrow().len() <= MAX_POOLED));
+    }
+}
