@@ -1,0 +1,47 @@
+//! Load generator for the optimization daemon: p50/p99 latency and
+//! throughput at several concurrency levels, plus the cold-vs-warm
+//! polyhedral-store comparison across a daemon restart. Writes
+//! `BENCH_serve.json` (schema `shackle-serve-v1`).
+//!
+//! ```text
+//! serveperf [--quick] [--profile] [--out PATH]
+//! ```
+//!
+//! `--quick` is the CI smoke configuration (fewer requests per level,
+//! relaxed quote-speedup floor); `--profile` enables `shackle-probe`
+//! and renders the daemon's span tree after the run.
+
+use shackle_bench::serveperf::{run, LoadOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut opts = LoadOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                opts = LoadOptions {
+                    out: opts.out,
+                    profile: opts.profile,
+                    ..LoadOptions::quick()
+                }
+            }
+            "--profile" => opts.profile = true,
+            "--out" => match args.next() {
+                Some(p) => opts.out = p.into(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    if opts.profile {
+        shackle_probe::set_enabled(true);
+    }
+    run(&opts);
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("serveperf: {err}\nusage: serveperf [--quick] [--profile] [--out PATH]");
+    ExitCode::FAILURE
+}

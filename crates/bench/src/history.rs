@@ -120,6 +120,165 @@ pub fn append(
     f.write_all(line.as_bytes())
 }
 
+// --- trajectory regression check ---
+
+/// The aggregate metrics compared against the history trajectory
+/// (dotted paths into one history line's `aggregates` object). Higher
+/// is better for all of them.
+pub const TRAJECTORY_METRICS: [&str; 4] = [
+    "exec.bytecode_speedup",
+    "exec.native_speedup",
+    "search.speedup",
+    "memsim.speedup",
+];
+
+/// One metric's comparison against the median of comparable history.
+#[derive(Clone, Debug)]
+pub struct TrajectoryCheck {
+    /// Dotted metric path (one of [`TRAJECTORY_METRICS`]).
+    pub metric: &'static str,
+    /// The current run's value.
+    pub current: f64,
+    /// Median across the comparable history entries (0 when none).
+    pub median: f64,
+    /// Comparable history entries that carried this metric.
+    pub samples: usize,
+    /// `current / median` (infinity when no samples).
+    pub ratio: f64,
+    /// Whether enough samples existed to enforce the floor.
+    pub enforced: bool,
+    /// `!enforced || ratio >= tolerance`.
+    pub ok: bool,
+}
+
+/// Seek past `"key":` in `json`, returning the remainder starting at
+/// the value. Purely lexical — good enough for the flat, known-shape
+/// objects this module itself renders, which is the point: no JSON
+/// dependency.
+fn seek<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let i = json.find(&needle)?;
+    Some(json[i + needle.len()..].trim_start())
+}
+
+/// Extract the number at a dotted path (`"exec.bytecode_speedup"`).
+/// `None` for a missing path or an explicit `null`.
+pub fn extract_number(json: &str, path: &str) -> Option<f64> {
+    let mut rest = json;
+    for seg in path.split('.') {
+        rest = seek(rest, seg)?;
+    }
+    if rest.starts_with("null") {
+        return None;
+    }
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract the string at a dotted path. `None` for missing or
+/// non-string values.
+pub fn extract_string(json: &str, path: &str) -> Option<String> {
+    let mut rest = json;
+    for seg in path.split('.') {
+        rest = seek(rest, seg)?;
+    }
+    let rest = rest.strip_prefix('"')?;
+    // The strings this module renders never contain escaped quotes
+    // (profile names, rustc versions, short SHAs).
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+    let n = values.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Compare the current run's aggregates against the trajectory of
+/// *comparable* history entries — same build profile, since a debug
+/// number against a release trajectory measures the compiler, not a
+/// regression. Each metric with at least `min_samples` comparable
+/// entries must reach `tolerance` × the historical median; metrics
+/// with thinner history are reported but not enforced. The tolerance
+/// is deliberately generous (the ROADMAP suggests ~0.4×): machine
+/// noise and CPU-count drift must not trip it, only a genuine
+/// pipeline regression.
+pub fn check_trajectory(
+    history_text: &str,
+    env: &EnvFingerprint,
+    current_aggregates: &str,
+    tolerance: f64,
+    min_samples: usize,
+) -> Vec<TrajectoryCheck> {
+    let comparable: Vec<&str> = history_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter(|l| extract_string(l, "env.profile").as_deref() == Some(env.profile))
+        .collect();
+    TRAJECTORY_METRICS
+        .iter()
+        .filter_map(|&metric| {
+            let current = extract_number(current_aggregates, metric)?;
+            let mut values: Vec<f64> = comparable
+                .iter()
+                .filter_map(|l| {
+                    let aggregates = seek(l, "aggregates")?;
+                    extract_number(aggregates, metric)
+                })
+                .collect();
+            let samples = values.len();
+            let med = median(&mut values);
+            let ratio = if med > 0.0 {
+                current / med
+            } else {
+                f64::INFINITY
+            };
+            let enforced = samples >= min_samples;
+            Some(TrajectoryCheck {
+                metric,
+                current,
+                median: med,
+                samples,
+                ratio,
+                enforced,
+                ok: !enforced || ratio >= tolerance,
+            })
+        })
+        .collect()
+}
+
+/// [`check_trajectory`] over a history file. A missing file is an
+/// empty (all-pass) trajectory, not an error: the first run on a fresh
+/// checkout has nothing to regress against.
+pub fn check_file(
+    path: impl AsRef<Path>,
+    env: &EnvFingerprint,
+    current_aggregates: &str,
+    tolerance: f64,
+    min_samples: usize,
+) -> io::Result<Vec<TrajectoryCheck>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    Ok(check_trajectory(
+        &text,
+        env,
+        current_aggregates,
+        tolerance,
+        min_samples,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +329,104 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn agg(search: f64, native: &str) -> String {
+        format!(
+            "{{\"exec\": {{\"bytecode_speedup\": 6.0, \"native_speedup\": {native}}}, \
+             \"search\": {{\"speedup\": {search:.3}}}, \"memsim\": {{\"speedup\": 7.0}}}}"
+        )
+    }
+
+    fn history_of(entries: &[(f64, &str)]) -> String {
+        entries
+            .iter()
+            .map(|(s, profile)| {
+                let mut e = fp();
+                e.profile = if *profile == "release" {
+                    "release"
+                } else {
+                    "debug"
+                };
+                render_line(1, &e, &agg(*s, "72.0"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extract_number_walks_paths_and_handles_null() {
+        let a = agg(7.0, "null");
+        assert_eq!(extract_number(&a, "search.speedup"), Some(7.0));
+        assert_eq!(extract_number(&a, "memsim.speedup"), Some(7.0));
+        assert_eq!(extract_number(&a, "exec.bytecode_speedup"), Some(6.0));
+        assert_eq!(extract_number(&a, "exec.native_speedup"), None);
+        assert_eq!(extract_number(&a, "exec.missing"), None);
+        let line = render_line(9, &fp(), &a);
+        assert_eq!(extract_string(&line, "env.profile"), Some("release".into()));
+        assert_eq!(extract_number(&line, "epoch_secs"), Some(9.0));
+    }
+
+    #[test]
+    fn trajectory_passes_on_flat_history_and_trips_on_regression() {
+        let hist = history_of(&[(7.0, "release"), (7.2, "release"), (6.8, "release")]);
+        let ok = check_trajectory(&hist, &fp(), &agg(6.9, "70.0"), 0.4, 3);
+        assert!(ok.iter().all(|c| c.ok), "{ok:?}");
+        assert!(ok.iter().all(|c| c.enforced));
+        let search = ok.iter().find(|c| c.metric == "search.speedup").unwrap();
+        assert_eq!(search.median, 7.0);
+        assert_eq!(search.samples, 3);
+
+        // A 10x collapse of the search speedup trips the check; the
+        // untouched metrics still pass.
+        let bad = check_trajectory(&hist, &fp(), &agg(0.7, "70.0"), 0.4, 3);
+        let search = bad.iter().find(|c| c.metric == "search.speedup").unwrap();
+        assert!(!search.ok && search.enforced);
+        assert!(bad
+            .iter()
+            .filter(|c| c.metric != "search.speedup")
+            .all(|c| c.ok));
+    }
+
+    #[test]
+    fn trajectory_reports_but_does_not_enforce_thin_history() {
+        let hist = history_of(&[(7.0, "release")]);
+        let checks = check_trajectory(&hist, &fp(), &agg(0.1, "1.0"), 0.4, 3);
+        assert!(!checks.is_empty());
+        assert!(checks.iter().all(|c| c.ok && !c.enforced), "{checks:?}");
+    }
+
+    #[test]
+    fn trajectory_ignores_other_build_profiles_and_null_metrics() {
+        // Three debug entries, one release: a release run must not be
+        // judged against the debug trajectory.
+        let hist = history_of(&[
+            (0.5, "debug"),
+            (0.5, "debug"),
+            (0.5, "debug"),
+            (7.0, "release"),
+        ]);
+        let checks = check_trajectory(&hist, &fp(), &agg(7.0, "70.0"), 0.4, 3);
+        let search = checks
+            .iter()
+            .find(|c| c.metric == "search.speedup")
+            .unwrap();
+        assert_eq!(search.samples, 1);
+        assert!(!search.enforced);
+        // A current run without a native tier skips that metric
+        // entirely rather than comparing null to numbers.
+        let no_native = check_trajectory(&hist, &fp(), &agg(7.0, "null"), 0.4, 3);
+        assert!(no_native.iter().all(|c| c.metric != "exec.native_speedup"));
+    }
+
+    #[test]
+    fn check_file_treats_missing_history_as_empty() {
+        let path = std::env::temp_dir().join(format!(
+            "shackle-history-missing-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let checks = check_file(&path, &fp(), &agg(7.0, "70.0"), 0.4, 3).unwrap();
+        assert!(checks.iter().all(|c| c.ok && !c.enforced && c.samples == 0));
     }
 
     #[test]

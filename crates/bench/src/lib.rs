@@ -36,6 +36,7 @@ pub mod modelperf;
 pub mod prelude;
 pub mod report;
 pub mod searchperf;
+pub mod serveperf;
 
 /// The CPU-side cost model, calibrated to the paper's reported plateaus
 /// (see EXPERIMENTS.md). The *memory* side is always simulated from

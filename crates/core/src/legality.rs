@@ -125,13 +125,28 @@ pub fn check_legality_with_deps(
     factors: &[Shackle],
     deps: &[Dependence],
 ) -> LegalityReport {
+    check_legality_with_deps_budget(program, factors, deps, &Budget::default())
+}
+
+/// As [`check_legality_with_deps`], but deciding every probe under the
+/// caller's [`Budget`] instead of the default. A tighter budget turns
+/// hard probes into `Unknown` entries of the report rather than
+/// grinding through them — the optimization daemon uses this to refuse
+/// (with a structured error) requests whose legality it cannot prove
+/// within its per-request budget.
+pub fn check_legality_with_deps_budget(
+    program: &Program,
+    factors: &[Shackle],
+    deps: &[Dependence],
+    budget: &Budget,
+) -> LegalityReport {
     let _phase = shackle_probe::span("legality");
     count_legality_query();
     let ctx = LegalityContext::new(program, factors);
     let mut violations = Vec::new();
     let mut unknown = Vec::new();
     for dep in deps {
-        match ctx.dep_outcome(dep) {
+        match ctx.dep_outcome(dep, budget) {
             DepOutcome::Violated(witness) => violations.push(Violation {
                 dependence: dep.clone(),
                 witness,
@@ -333,14 +348,14 @@ impl LegalityContext {
     /// [`check_legality_with_deps`]. A probe the solver cannot decide
     /// keeps scanning (a later probe may still prove a violation) and
     /// only reports `Unknown` if no proven-feasible probe turns up.
-    fn dep_outcome(&self, dep: &Dependence) -> DepOutcome {
+    fn dep_outcome(&self, dep: &Dependence, budget: &Budget) -> DepOutcome {
         let ties = self.src_ties[dep.src].and(&self.tgt_ties[dep.dst]);
         let mut undecided = false;
         for order_disjunct in &dep.systems {
             let base = order_disjunct.and(&ties);
             for bad in &self.bad_order {
                 let probe = base.and(bad);
-                match probe.decide(&Budget::default()) {
+                match probe.decide(budget) {
                     Verdict::Yes => return DepOutcome::Violated(probe),
                     Verdict::No => {}
                     Verdict::Unknown => undecided = true,

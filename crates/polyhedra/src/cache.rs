@@ -34,17 +34,46 @@
 //! (projection exactness checks re-enter the feasibility test) would
 //! otherwise deadlock. Two threads may race to compute the same entry;
 //! both compute the same pure value, so the duplicate insert is benign.
+//!
+//! # Cross-process persistence
+//!
+//! The proven maps (feasibility, projection, gist) survive process
+//! restarts: [`save_to`] serializes them to a single versioned binary
+//! file (atomic temp + rename, like the native build cache) and
+//! [`load_from`] rebuilds them byte-for-byte — a reloaded projection
+//! is indistinguishable from a fresh computation, so codegen stays
+//! deterministic across restarts. `Unknown` outcomes are deliberately
+//! *not* persisted: they record resource exhaustion at compute time,
+//! not a property of the system. [`store_path`] resolves the on-disk
+//! location from `$SHACKLE_POLY_CACHE` (a file path, kept beside the
+//! `$SHACKLE_NATIVE_CACHE` artifact store by convention).
+//!
+//! # Size bounds
+//!
+//! Each shard holds at most [`cache_capacity`]`/16` entries. Inserting
+//! into a full shard evicts its least-recently-touched quarter
+//! (approximate LRU via a global logical clock stamped on every hit),
+//! counted in [`PolyStats::evictions`].
 
 use crate::error::{Budget, PolyError};
+use crate::system::Row;
 use crate::{fm, omega, Rel, System};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{LazyLock, Mutex};
 
 /// Number of independent lock shards per cache; a small power of two so
 /// the hash → shard map is a mask.
 const SHARDS: usize = 16;
+
+/// Default total entry bound per cache (feasibility, projection, gist
+/// and unknown each get this many): generous enough that single-run
+/// pipelines never evict, small enough that a long-lived server stays
+/// bounded.
+const DEFAULT_CAPACITY: usize = 1 << 16;
 
 /// FNV-1a as a `HashMap` hasher: keys are already high-entropy
 /// serialized systems, so SipHash's DoS resistance buys nothing here
@@ -72,7 +101,14 @@ impl Hasher for FnvHasher {
     }
 }
 
-type Shard<V> = Mutex<HashMap<Vec<u8>, V, FnvBuild>>;
+/// A cached value plus the logical time it was last touched (hit or
+/// inserted) — the eviction ordering.
+struct Stamped<V> {
+    value: V,
+    stamp: u64,
+}
+
+type Shard<V> = Mutex<HashMap<Vec<u8>, Stamped<V>, FnvBuild>>;
 
 static FEASIBILITY: LazyLock<Vec<Shard<bool>>> = LazyLock::new(new_shards);
 static PROJECTION: LazyLock<Vec<Shard<(System, bool)>>> = LazyLock::new(new_shards);
@@ -92,6 +128,36 @@ fn new_shards<V>() -> Vec<Shard<V>> {
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
+/// Global logical clock for approximate LRU: bumped on every hit and
+/// insert. Relaxed is fine — eviction only needs a rough recency order,
+/// not a total one.
+static CLOCK: AtomicU64 = AtomicU64::new(0);
+
+/// Total entry bound per cache (split evenly across shards).
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+fn tick() -> u64 {
+    CLOCK.fetch_add(1, Ordering::Relaxed)
+}
+
+fn shard_capacity() -> usize {
+    (CAPACITY.load(Ordering::Relaxed) / SHARDS).max(1)
+}
+
+/// Bound the number of entries each cache may hold (feasibility,
+/// projection, gist and unknown each get `total` entries, split across
+/// the shards). Inserting past the bound evicts the least-recently-used
+/// quarter of the full shard. Returns the previous bound. Existing
+/// oversized shards shrink lazily on their next insert.
+pub fn set_cache_capacity(total: usize) -> usize {
+    CAPACITY.swap(total.max(SHARDS), Ordering::Relaxed)
+}
+
+/// The current total entry bound per cache.
+pub fn cache_capacity() -> usize {
+    CAPACITY.load(Ordering::Relaxed)
+}
+
 static FEAS_QUERIES: AtomicU64 = AtomicU64::new(0);
 static FEAS_HITS: AtomicU64 = AtomicU64::new(0);
 static PROJ_QUERIES: AtomicU64 = AtomicU64::new(0);
@@ -103,6 +169,7 @@ static DARK_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static FM_COMBINED: AtomicU64 = AtomicU64::new(0);
 static FM_PRUNED: AtomicU64 = AtomicU64::new(0);
 static UNKNOWN_VERDICTS: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Counters describing the polyhedral work done since the last
 /// [`reset_stats`].
@@ -142,6 +209,10 @@ pub struct PolyStats {
     /// Consumers degrade conservatively; a healthy pipeline run keeps
     /// this at zero.
     pub unknown_verdicts: u64,
+    /// Entries evicted to keep shards under [`cache_capacity`]. Zero in
+    /// single-run pipelines; a long-lived server watches this to size
+    /// the bound.
+    pub evictions: u64,
 }
 
 impl PolyStats {
@@ -190,6 +261,7 @@ pub fn stats() -> PolyStats {
         fm_rows_combined: FM_COMBINED.load(Ordering::Relaxed),
         fm_rows_pruned: FM_PRUNED.load(Ordering::Relaxed),
         unknown_verdicts: UNKNOWN_VERDICTS.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
     }
 }
 
@@ -221,6 +293,7 @@ pub fn publish_stats() {
         ("poly.fm_rows_combined", s.fm_rows_combined),
         ("poly.fm_rows_pruned", s.fm_rows_pruned),
         ("poly.unknown", s.unknown_verdicts),
+        ("poly.evictions", s.evictions),
     ] {
         shackle_probe::counter(name).set(v);
     }
@@ -240,6 +313,7 @@ pub fn reset_stats() {
         &FM_COMBINED,
         &FM_PRUNED,
         &UNKNOWN_VERDICTS,
+        &EVICTIONS,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -304,19 +378,58 @@ fn shard_of(key: &[u8]) -> usize {
 
 fn lookup<V: Clone>(shards: &[Shard<V>], key: &[u8]) -> Option<V> {
     let shard = &shards[shard_of(key)];
-    shard
-        .lock()
-        .expect("cache shard poisoned")
-        .get(key)
-        .cloned()
+    let mut map = shard.lock().expect("cache shard poisoned");
+    let entry = map.get_mut(key)?;
+    entry.stamp = tick();
+    Some(entry.value.clone())
 }
 
 fn insert<V>(shards: &[Shard<V>], key: Vec<u8>, value: V) {
     let idx = shard_of(&key);
-    shards[idx]
-        .lock()
-        .expect("cache shard poisoned")
-        .insert(key, value);
+    let mut map = shards[idx].lock().expect("cache shard poisoned");
+    let cap = shard_capacity();
+    if map.len() >= cap && !map.contains_key(&key) {
+        let over = map.len() + 1 - cap;
+        evict_oldest(&mut map, over + cap / 4);
+    }
+    map.insert(
+        key,
+        Stamped {
+            value,
+            stamp: tick(),
+        },
+    );
+}
+
+/// Drop the `n` least-recently-touched entries of one shard. O(shard)
+/// per eviction burst, amortized by evicting a quarter-capacity batch
+/// at a time rather than one entry per insert.
+fn evict_oldest<V>(map: &mut HashMap<Vec<u8>, Stamped<V>, FnvBuild>, n: usize) {
+    if n == 0 || map.is_empty() {
+        return;
+    }
+    let n = n.min(map.len());
+    let mut stamps: Vec<u64> = map.values().map(|e| e.stamp).collect();
+    stamps.sort_unstable();
+    let cutoff = stamps[n - 1];
+    let before = map.len();
+    // `<=` may overshoot `n` when stamps tie (only via bulk load, which
+    // stamps per entry, so ties are rare); staying under capacity wins.
+    map.retain(|_, e| e.stamp > cutoff);
+    EVICTIONS.fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+}
+
+fn count_shards<V>(shards: &[Shard<V>]) -> usize {
+    shards
+        .iter()
+        .map(|s| s.lock().expect("cache shard poisoned").len())
+        .sum()
+}
+
+/// Total entries currently resident across the proven maps
+/// (feasibility + projection + gist; `Unknown` entries excluded).
+pub fn entry_count() -> usize {
+    count_shards(&FEASIBILITY) + count_shards(&PROJECTION) + count_shards(&GIST)
 }
 
 /// Zig-zag LEB128: one byte for the small coefficients that dominate
@@ -587,6 +700,247 @@ pub(crate) fn gist(sys: &System, context: &System) -> System {
     v
 }
 
+// ---------------------------------------------------------------------
+// Cross-process persistence
+// ---------------------------------------------------------------------
+
+/// File magic + format version. Bump the version byte on any layout
+/// change; [`load_from`] refuses mismatches instead of guessing.
+const STORE_MAGIC: &[u8; 4] = b"SHPL";
+const STORE_VERSION: u8 = 1;
+
+/// Section tags inside the store file.
+const SEC_FEAS: u8 = 0;
+const SEC_PROJ: u8 = 1;
+const SEC_GIST: u8 = 2;
+const SEC_END: u8 = 0xff;
+
+/// Resolve the on-disk store location from `$SHACKLE_POLY_CACHE` (a
+/// file path). `None` when unset — persistence is strictly opt-in, so
+/// batch runs never touch the filesystem.
+pub fn store_path() -> Option<PathBuf> {
+    let p = std::env::var_os("SHACKLE_POLY_CACHE")?;
+    (!p.is_empty()).then(|| PathBuf::from(p))
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("poly cache store: {msg}"),
+    )
+}
+
+/// Byte-slice cursor mirroring the `push_i64`/`push_system` writers.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> io::Result<u8> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| invalid("truncated"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i64(&mut self) -> io::Result<i64> {
+        // Inverse of `push_i64`: LEB128 then zig-zag.
+        let mut z: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(invalid("varint overlong"));
+            }
+            z |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn len(&mut self) -> io::Result<usize> {
+        let v = self.i64()?;
+        // A length can never exceed what remains in the buffer; this
+        // caps allocations on corrupt input before they happen.
+        let remaining = self.buf.len() - self.pos;
+        if v < 0 || v as usize > remaining {
+            return Err(invalid("length out of range"));
+        }
+        Ok(v as usize)
+    }
+
+    fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| invalid("truncated"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Inverse of [`push_system`], reconstructing the serialized system
+    /// byte-for-byte via `System::from_raw_parts`.
+    fn system(&mut self) -> io::Result<System> {
+        let contradiction = match self.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(invalid("bad contradiction flag")),
+        };
+        let nvars = self.len()?;
+        let mut vars = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let n = self.len()?;
+            let name = std::str::from_utf8(self.bytes(n)?)
+                .map_err(|_| invalid("variable name not utf-8"))?;
+            vars.push(name.to_string());
+        }
+        let nrows = self.len()?;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let rel = match self.u8()? {
+                0 => Rel::Eq,
+                1 => Rel::Geq,
+                _ => return Err(invalid("bad relation byte")),
+            };
+            let constant = self.i64()?;
+            let mut coeffs = Vec::with_capacity(nvars);
+            for _ in 0..nvars {
+                coeffs.push(self.i64()?);
+            }
+            rows.push(Row {
+                coeffs,
+                constant,
+                rel,
+            });
+        }
+        Ok(System::from_raw_parts(vars, rows, contradiction))
+    }
+}
+
+/// Serialize one proven map as a tagged section: tag, entry count, then
+/// `key_len key value` per entry (value layout per tag).
+fn write_section<V>(
+    out: &mut Vec<u8>,
+    tag: u8,
+    shards: &[Shard<V>],
+    mut write_value: impl FnMut(&mut Vec<u8>, &V),
+) {
+    out.push(tag);
+    let count: usize = count_shards(shards);
+    push_i64(out, count as i64);
+    for shard in shards {
+        let map = shard.lock().expect("cache shard poisoned");
+        for (key, entry) in map.iter() {
+            push_i64(out, key.len() as i64);
+            out.extend_from_slice(key);
+            write_value(out, &entry.value);
+        }
+    }
+}
+
+/// Serialize the proven maps into the store's binary format.
+fn serialize_store() -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(STORE_MAGIC);
+    out.push(STORE_VERSION);
+    write_section(&mut out, SEC_FEAS, &FEASIBILITY, |o, &v| o.push(v as u8));
+    write_section(&mut out, SEC_PROJ, &PROJECTION, |o, (sys, exact)| {
+        push_system(o, sys);
+        o.push(*exact as u8);
+    });
+    write_section(&mut out, SEC_GIST, &GIST, push_system);
+    out.push(SEC_END);
+    out
+}
+
+/// Persist the proven maps (feasibility, projection, gist) to `path`.
+/// The write is atomic — a scratch file in the same directory is
+/// renamed into place — so a crash mid-save leaves the previous store
+/// intact and concurrent savers last-write-win at file granularity.
+/// Returns the number of bytes written.
+pub fn save_to(path: impl AsRef<Path>) -> io::Result<u64> {
+    let path = path.as_ref();
+    let bytes = serialize_store();
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let scratch = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&scratch)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&scratch, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Load a store written by [`save_to`], merging its entries into the
+/// live maps (existing entries are overwritten; capacity bounds and
+/// eviction apply as for normal inserts). Returns the number of entries
+/// loaded. Malformed or version-mismatched files yield
+/// `ErrorKind::InvalidData` and leave the maps as they were before the
+/// failing entry — never a panic.
+pub fn load_from(path: impl AsRef<Path>) -> io::Result<usize> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    let mut r = Reader { buf: &buf, pos: 0 };
+    if r.bytes(4)? != STORE_MAGIC {
+        return Err(invalid("bad magic"));
+    }
+    if r.u8()? != STORE_VERSION {
+        return Err(invalid("unsupported version"));
+    }
+    let mut loaded = 0usize;
+    loop {
+        let tag = r.u8()?;
+        if tag == SEC_END {
+            break;
+        }
+        let count = {
+            let v = r.i64()?;
+            if v < 0 {
+                return Err(invalid("negative section count"));
+            }
+            v as usize
+        };
+        for _ in 0..count {
+            let klen = r.len()?;
+            let key = r.bytes(klen)?.to_vec();
+            match tag {
+                SEC_FEAS => {
+                    let v = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(invalid("bad feasibility verdict")),
+                    };
+                    insert(&FEASIBILITY, key, v);
+                }
+                SEC_PROJ => {
+                    let sys = r.system()?;
+                    let exact = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(invalid("bad exactness flag")),
+                    };
+                    insert(&PROJECTION, key, (sys, exact));
+                }
+                SEC_GIST => {
+                    let sys = r.system()?;
+                    insert(&GIST, key, sys);
+                }
+                _ => return Err(invalid("unknown section tag")),
+            }
+            loaded += 1;
+        }
+    }
+    Ok(loaded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,5 +1091,97 @@ mod tests {
         assert!(!feasible(&s));
         set_cache_enabled(was);
         assert!(!feasible(&s));
+    }
+
+    fn tmp_store(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("shackle_poly_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn store_round_trip_replays_saved_entries_byte_exactly() {
+        let mut s = System::new();
+        s.add(Constraint::ge(v("i"), LinExpr::constant(0)));
+        s.add(Constraint::le(v("i"), v("n")));
+        s.add(Constraint::le(v("j"), v("i")));
+        let budget = Budget::default();
+
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear_cache();
+        let feas = try_feasible(&s, &budget).unwrap();
+        let proj = try_project(&s, &["i", "n"], &budget).unwrap();
+        let g = gist(&s, &System::new());
+
+        let path = tmp_store("round_trip.bin");
+        let bytes = save_to(&path).unwrap();
+        assert!(bytes > 5, "store must hold more than the header");
+
+        // A fresh process: nothing resident, then reload from disk.
+        clear_cache();
+        assert_eq!(entry_count(), 0);
+        let loaded = load_from(&path).unwrap();
+        assert!(
+            loaded >= 3,
+            "expected all proven entries back, got {loaded}"
+        );
+
+        // Replays must be cache hits returning byte-identical values.
+        let h0 = stats();
+        assert_eq!(try_feasible(&s, &budget), Ok(feas));
+        assert_eq!(try_project(&s, &["i", "n"], &budget), Ok(proj));
+        assert_eq!(gist(&s, &System::new()), g);
+        let h1 = stats();
+        assert!(h1.feasibility_hits > h0.feasibility_hits);
+        assert!(h1.projection_hits > h0.projection_hits);
+        assert!(h1.gist_hits > h0.gist_hits);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_malformed_stores() {
+        let garbage = tmp_store("garbage.bin");
+        std::fs::write(&garbage, b"not a store").unwrap();
+        let err = load_from(&garbage).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Truncating a valid store mid-entry must error, not panic.
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut s = System::new();
+        s.add(Constraint::ge(v("x"), LinExpr::constant(1)));
+        let _ = try_project(&s, &["x"], &Budget::default());
+        let full = serialize_store();
+        let cut = tmp_store("truncated.bin");
+        std::fs::write(&cut, &full[..full.len() - 1]).unwrap();
+        if full.len() > 6 {
+            let err = load_from(&cut).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+        std::fs::remove_file(&garbage).ok();
+        std::fs::remove_file(&cut).ok();
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_entries() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear_cache();
+        // Shard capacity of 2 (tiny, deterministic): 200 distinct
+        // systems cannot all stay resident.
+        let was = set_cache_capacity(2 * SHARDS);
+        let evicted0 = stats().evictions;
+        for i in 0..200 {
+            let mut s = System::new();
+            s.add(Constraint::ge(v("x"), LinExpr::constant(i)));
+            s.add(Constraint::le(v("x"), LinExpr::constant(i + 10)));
+            let _ = try_feasible(&s, &Budget::default());
+        }
+        let resident = count_shards(&FEASIBILITY);
+        assert!(
+            resident <= 2 * SHARDS,
+            "feasibility map exceeded its bound: {resident} entries"
+        );
+        assert!(stats().evictions > evicted0, "evictions must be counted");
+        set_cache_capacity(was);
+        clear_cache();
     }
 }

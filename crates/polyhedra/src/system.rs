@@ -170,6 +170,21 @@ impl System {
         Arc::clone(&self.vars)
     }
 
+    /// Rebuild a system from raw parts, bypassing `add`'s tightening
+    /// and pruning. Deserialization only: the cache's persistence layer
+    /// must reproduce a cached `System` byte-for-byte, and replaying
+    /// rows through `add` would re-run dominance pruning and GCD
+    /// tightening against a different insertion history. Every row must
+    /// have exactly `vars.len()` coefficients.
+    pub(crate) fn from_raw_parts(vars: Vec<String>, rows: Vec<Row>, contradiction: bool) -> Self {
+        debug_assert!(rows.iter().all(|r| r.coeffs.len() == vars.len()));
+        System {
+            vars: Arc::new(vars),
+            rows,
+            contradiction,
+        }
+    }
+
     /// Build a system from an iterator of constraints.
     pub fn from_constraints<I>(cons: I) -> Self
     where

@@ -1,0 +1,97 @@
+//! The optimization daemon: `shackle_serve [--stdio | --tcp ADDR]
+//! [--workers N] [--store PATH] [--profile]`.
+//!
+//! * `--stdio` answers frames on stdin/stdout — one connection, no
+//!   sockets; what the CI smoke test drives with a pipe.
+//! * `--tcp ADDR` (default `127.0.0.1:0`) serves multiple concurrent
+//!   clients; the bound address is printed to stderr as
+//!   `listening on <addr>` so callers binding port 0 can discover it.
+//! * `--store PATH` overrides `$SHACKLE_POLY_CACHE` as the persistent
+//!   polyhedral store (loaded on startup, saved on shutdown).
+//! * `--profile` enables `shackle-probe` instrumentation so `stats`
+//!   responses include per-request span trees.
+//!
+//! The daemon exits when a client sends a `shutdown` frame (TCP) or
+//! the pipe closes (stdio).
+
+use shackle_serve::Server;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut stdio = false;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers: Option<usize> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut profile = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--stdio" => stdio = true,
+            "--tcp" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage("--tcp needs an address"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = Some(v),
+                None => return usage("--workers needs a positive integer"),
+            },
+            "--store" => match args.next() {
+                Some(v) => store = Some(PathBuf::from(v)),
+                None => return usage("--store needs a path"),
+            },
+            "--profile" => profile = true,
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    if profile {
+        shackle_probe::set_enabled(true);
+    }
+
+    let mut server = Server::new();
+    if let Some(w) = workers {
+        server = server.with_workers(w);
+    }
+    if store.is_some() {
+        server = server.with_store(store);
+    }
+
+    let result = if stdio {
+        server.serve_stdio()
+    } else {
+        match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(bound) => eprintln!("listening on {bound}"),
+                    Err(_) => eprintln!("listening on {addr}"),
+                }
+                Arc::new(server).serve_tcp(listener)
+            }
+            Err(e) => {
+                eprintln!("shackle_serve: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shackle_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "shackle_serve: {err}\n\
+         usage: shackle_serve [--stdio | --tcp ADDR] [--workers N] \
+         [--store PATH] [--profile]"
+    );
+    ExitCode::FAILURE
+}

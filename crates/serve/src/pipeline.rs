@@ -1,0 +1,255 @@
+//! The canonical §8 auto-shackle search pipeline: the uncached serial
+//! baseline vs. the memoized parallel one, producing byte-comparable
+//! outputs.
+//!
+//! This module is the single source of truth for the end-to-end search
+//! used both by the batch harness (`shackle_bench::searchperf`
+//! re-exports it) and by the daemon's `optimize` handler
+//! ([`crate::service`]) — one implementation, so a served response is
+//! byte-identical to a batch run by construction, not by test luck.
+//!
+//! Both modes run the same candidate space
+//! ([`shackle_core::search::candidate_shackles`]), the same greedy
+//! Theorem-2 product growth and the same two-phase scoring (the
+//! `shackle-model` analytical predictor ranks every product, the exact
+//! probe-cache simulator re-scores only the top [`TOP_K`]), and
+//! render an identical textual report — so the performance report can
+//! assert that memoization and parallelism change *nothing* about the
+//! search result, only its cost:
+//!
+//! * [`Mode::Baseline`] reproduces the pre-memoization pipeline:
+//!   per-dependence full-report legality
+//!   ([`shackle_core::check_legality_reference`]) for every candidate,
+//!   dependences recomputed for every product-growth call, every stage
+//!   serial. Run it with the polyhedral cache disabled
+//!   ([`shackle_polyhedra::cache::set_cache_enabled`]) to measure the
+//!   uncached baseline.
+//! * [`Mode::Memoized`] is the shipped path: shared dependences,
+//!   early-exit cheapest-first legality, memoized queries, and
+//!   [`shackle_core::par`] fan-out for enumeration, growth and scoring.
+
+use shackle_core::search::{
+    candidate_shackles, complete_product_with_deps, two_phase, Candidate, SearchConfig,
+};
+use shackle_core::{check_legality_reference, is_legal_with_deps, par, scan, span, Shackle};
+use shackle_ir::deps::dependences;
+use shackle_ir::Program;
+use shackle_kernels::trace::trace_execution;
+use shackle_memsim::{ground_truth, CacheConfig};
+use shackle_model::{predict, KernelGeometry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which pipeline to run (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Uncached-era pipeline: serial, full-report legality, dependences
+    /// recomputed per growth call.
+    Baseline,
+    /// Shared dependences + early-exit legality + memoized queries +
+    /// parallel fan-out.
+    Memoized,
+}
+
+/// The search result in comparable form.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Raw candidates enumerated (before the legality filter).
+    pub candidates: usize,
+    /// Legal distinct candidates.
+    pub legal: usize,
+    /// Fully-blocking distinct products grown from the legal seeds.
+    pub products: usize,
+    /// Products re-scored with the exact simulator (the analytical
+    /// model ranks all of them; only the top [`TOP_K`] are simulated).
+    pub rescored: usize,
+    /// Simulated memory cycles of the selected product.
+    pub winner_cycles: u64,
+    /// Full textual report: every verdict, product, score and the
+    /// winner's generated code. Byte-identical across modes and thread
+    /// counts.
+    pub report: String,
+}
+
+/// The probe cache used to score candidates (the §8 cost-model stand-in;
+/// same as the `auto_shackle` example).
+pub const PROBE_CACHE: CacheConfig = CacheConfig {
+    size: 8 * 1024,
+    line: 128,
+    assoc: 4,
+    latency: 0,
+};
+
+/// Survivors of the analytical first pass that get exact probe-cache
+/// simulation (`shackle_core::search::two_phase`). Two is enough for
+/// the handful of grown products this harness ranks; the dense-grid
+/// sweep (`shackle_bench::modelperf`) uses a configurable K, default 8.
+pub const TOP_K: usize = 2;
+
+/// Run the full auto-shackle search — enumerate, grow, score, select —
+/// in the given mode. `probe_n` is the problem size scored on the probe
+/// cache; `init` seeds the workspace (use an SPD initializer for
+/// factorizations).
+pub fn auto_search(
+    program: &Program,
+    cfg: &SearchConfig,
+    probe_n: i64,
+    init: impl Fn(&str, &[usize]) -> f64 + Sync,
+    mode: Mode,
+) -> SearchOutcome {
+    let raw = candidate_shackles(program, cfg);
+    let deps = dependences(program);
+
+    // 1. legality verdict per raw candidate
+    let verdicts: Vec<bool> = match mode {
+        Mode::Memoized => par::map(&raw, |s| {
+            is_legal_with_deps(program, std::slice::from_ref(s), &deps)
+        }),
+        Mode::Baseline => raw
+            .iter()
+            .map(|s| check_legality_reference(program, std::slice::from_ref(s), &deps).is_legal())
+            .collect(),
+    };
+
+    // legal candidates, deduped in enumeration order (exactly
+    // `enumerate_legal`'s construction)
+    let mut legal: Vec<Candidate> = Vec::new();
+    for (shackle, &ok) in raw.iter().zip(&verdicts) {
+        if ok && !legal.iter().any(|c| &c.shackle == shackle) {
+            let unconstrained = span::unconstrained_refs(program, std::slice::from_ref(shackle));
+            legal.push(Candidate {
+                shackle: shackle.clone(),
+                unconstrained,
+            });
+        }
+    }
+
+    // 2. grow each legal seed into a product (Theorem 2), keeping the
+    //    distinct fully-blocking ones
+    let mut products: Vec<Vec<Shackle>> = Vec::new();
+    for c in &legal {
+        let seed = vec![c.shackle.clone()];
+        let grown = match mode {
+            Mode::Memoized => complete_product_with_deps(program, seed, &legal, &deps),
+            Mode::Baseline => grow_baseline(program, seed, &legal),
+        };
+        if span::unconstrained_refs(program, &grown).is_empty() && !products.contains(&grown) {
+            products.push(grown);
+        }
+    }
+
+    // 3. two-phase scoring: the analytical model ranks every product,
+    //    then only the top-K survivors get the exact probe-cache
+    //    simulation. Both phases tie-break by product index, so the
+    //    outcome is deterministic; Baseline pins the fan-out to one
+    //    worker so it stays the serial pipeline end to end.
+    let params = BTreeMap::from([("N".to_string(), probe_n)]);
+    let geom = KernelGeometry::new(program, &params);
+    let model_score = |product: &Vec<Shackle>| predict(&geom, product, &[PROBE_CACHE], 60).cycles;
+    let exact_score = |product: &Vec<Shackle>| {
+        let code = scan::generate_scanned(program, product);
+        ground_truth(&[PROBE_CACHE], 60, |h| {
+            trace_execution(&code, &params, &init, h);
+        })
+        .cycles
+    };
+    let outcome = match mode {
+        Mode::Memoized => two_phase(&products, TOP_K, model_score, exact_score),
+        Mode::Baseline => {
+            let _serial = par::with_threads(1);
+            two_phase(&products, TOP_K, model_score, exact_score)
+        }
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(report, "candidates {}", raw.len());
+    for (s, ok) in raw.iter().zip(&verdicts) {
+        let _ = writeln!(
+            report,
+            "candidate {s}: {}",
+            if *ok { "legal" } else { "illegal" }
+        );
+    }
+    for (i, p) in products.iter().enumerate() {
+        let text: Vec<String> = p.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(report, "product {i}: {}", text.join(" x "));
+    }
+    let (rescored, winner_cycles) = match &outcome {
+        Some(o) => {
+            for (i, &cycles) in o.model_scores.iter().enumerate() {
+                let _ = writeln!(report, "model {i}: {cycles} cycles predicted");
+            }
+            for &(i, cycles) in &o.rescored {
+                let _ = writeln!(report, "rescore {i}: {cycles} cycles at N={probe_n}");
+            }
+            let code = scan::generate_scanned(program, &products[o.winner]);
+            let _ = writeln!(report, "winner {}\n{}", o.winner, code);
+            (o.rescored.len(), o.winner_score)
+        }
+        None => {
+            let _ = writeln!(report, "winner none");
+            (0, 0)
+        }
+    };
+
+    SearchOutcome {
+        candidates: raw.len(),
+        legal: legal.len(),
+        products: products.len(),
+        rescored,
+        winner_cycles,
+        report,
+    }
+}
+
+/// The pre-memoization greedy growth: dependences recomputed per call,
+/// full-report legality, serial scan. Selection rule (fewest remaining
+/// unconstrained refs, ties by enumeration order) matches
+/// [`complete_product_with_deps`], so both modes grow the same product.
+fn grow_baseline(program: &Program, seed: Vec<Shackle>, candidates: &[Candidate]) -> Vec<Shackle> {
+    let deps = dependences(program);
+    let mut product = seed;
+    loop {
+        let open = span::unconstrained_refs(program, &product);
+        if open.is_empty() {
+            return product;
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for (i, c) in candidates.iter().enumerate() {
+            let mut trial = product.clone();
+            trial.push(c.shackle.clone());
+            if !check_legality_reference(program, &trial, &deps).is_legal() {
+                continue;
+            }
+            let remaining = span::unconstrained_refs(program, &trial).len();
+            if remaining < open.len() && best.is_none_or(|(b, _)| remaining < b) {
+                best = Some((remaining, i));
+            }
+        }
+        match best {
+            Some((_, i)) => product.push(candidates[i].shackle.clone()),
+            None => return product,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shackle_ir::kernels;
+
+    #[test]
+    fn modes_agree_on_matmul() {
+        let p = kernels::matmul_ijk();
+        let cfg = SearchConfig {
+            width: 8,
+            ..Default::default()
+        };
+        let ones = |_: &str, _: &[usize]| 1.0;
+        let memo = auto_search(&p, &cfg, 24, ones, Mode::Memoized);
+        let base = auto_search(&p, &cfg, 24, ones, Mode::Baseline);
+        assert_eq!(memo.report, base.report);
+        assert!(memo.legal > 0 && memo.products > 0);
+        assert!(memo.winner_cycles > 0);
+    }
+}

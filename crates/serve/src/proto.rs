@@ -1,0 +1,481 @@
+//! The daemon's wire protocol: length-prefixed frames over any
+//! byte stream (TCP or stdio), std-only.
+//!
+//! # Frame layout
+//!
+//! Every frame is `tag (u8) + payload length (u64 LE) + payload` — the
+//! same shape as the native runner's stdio protocol
+//! (`shackle_exec::native`), so both sides can be read with one loop.
+//! Payload fields are little-endian fixed-width integers and
+//! `u32`-length-prefixed UTF-8 strings. Kernels travel as the
+//! `shackle_ir::parse` concrete syntax — the human-readable text *is*
+//! the wire format, so a request can be assembled with a text editor
+//! and `printf`.
+//!
+//! # Requests
+//!
+//! | tag | frame | payload |
+//! |-----|-------|---------|
+//! | 1 | `Optimize` | `probe_n i64, width i64, init str, source str` |
+//! | 2 | `Quote` | `probe_n i64, source str` |
+//! | 3 | `Stats` | empty |
+//! | 4 | `Shutdown` | empty |
+//!
+//! # Responses
+//!
+//! | tag | frame | payload |
+//! |-----|-------|---------|
+//! | 16 | `Optimized` | `winner_cycles u64, report str` |
+//! | 17 | `Quoted` | `predicted_cycles u64` |
+//! | 18 | `Stats` | `json str` |
+//! | 19 | `ShuttingDown` | empty |
+//! | 31 | `Error` | `class u8, message str` |
+//!
+//! Malformed input never drops the connection silently: the server
+//! answers with an [`ErrorClass::Protocol`] frame where the stream
+//! state permits, and every decode error here is a typed
+//! [`ProtoError`], not a panic.
+
+use std::io::{self, Read, Write};
+
+/// Refuse frames larger than this: a corrupt or hostile length prefix
+/// must not become a multi-gigabyte allocation.
+pub const MAX_FRAME: u64 = 16 * 1024 * 1024;
+
+pub const TAG_OPTIMIZE: u8 = 1;
+pub const TAG_QUOTE: u8 = 2;
+pub const TAG_STATS: u8 = 3;
+pub const TAG_SHUTDOWN: u8 = 4;
+pub const TAG_OPTIMIZED: u8 = 16;
+pub const TAG_QUOTED: u8 = 17;
+pub const TAG_STATS_RESP: u8 = 18;
+pub const TAG_SHUTTING_DOWN: u8 = 19;
+pub const TAG_ERROR: u8 = 31;
+
+/// Why a request failed, as carried in an error frame's class byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The kernel source did not parse (`shackle_ir::parse::ParseError`);
+    /// the message carries the line and reason.
+    Parse = 1,
+    /// The polyhedral engine returned `Unknown` verdicts during
+    /// legality — the search degraded conservatively and the result
+    /// would not be a proof, so the server refuses instead.
+    Unknown = 2,
+    /// The request frame itself was malformed (bad tag, truncated
+    /// payload, non-UTF-8 text, oversized length prefix).
+    Protocol = 3,
+    /// The request was well-formed but the pipeline could not satisfy
+    /// it (e.g. no legal blocking exists, or an init spec references a
+    /// missing array).
+    Internal = 4,
+}
+
+impl ErrorClass {
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Self::Parse),
+            2 => Some(Self::Unknown),
+            3 => Some(Self::Protocol),
+            4 => Some(Self::Internal),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (used in reports and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Parse => "parse",
+            Self::Unknown => "unknown",
+            Self::Protocol => "protocol",
+            Self::Internal => "internal",
+        }
+    }
+}
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Full pipeline: search → legality → codegen → scoring.
+    Optimize {
+        /// Problem size bound to `N` for scoring.
+        probe_n: i64,
+        /// Block width driving candidate enumeration.
+        width: i64,
+        /// Workspace initializer spec: `ones` or `spd:<array>:<seed>`.
+        init: String,
+        /// Kernel in `shackle_ir::parse` concrete syntax.
+        source: String,
+    },
+    /// Analytical-model-only estimate for the naive (unblocked) nest.
+    Quote { probe_n: i64, source: String },
+    /// Server counters + cache statistics as JSON.
+    Stats,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// A decoded response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Result of [`Request::Optimize`]: the winning product's simulated
+    /// cycles and the full search report (verdicts, products, scores,
+    /// generated code) — byte-identical to the batch
+    /// `pipeline::auto_search` report.
+    Optimized { winner_cycles: u64, report: String },
+    /// Result of [`Request::Quote`].
+    Quoted { predicted_cycles: u64 },
+    /// Result of [`Request::Stats`].
+    Stats { json: String },
+    /// Acknowledges [`Request::Shutdown`].
+    ShuttingDown,
+    /// Structured failure; the connection stays open.
+    Error { class: ErrorClass, message: String },
+}
+
+/// A malformed frame or payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad(msg: impl Into<String>) -> ProtoError {
+    ProtoError(msg.into())
+}
+
+// --- payload primitives ---
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let n = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("string not utf-8"))
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes after payload"))
+        }
+    }
+}
+
+impl Request {
+    /// Serialize to `(tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::Optimize {
+                probe_n,
+                width,
+                init,
+                source,
+            } => {
+                let mut p = Vec::new();
+                p.extend_from_slice(&probe_n.to_le_bytes());
+                p.extend_from_slice(&width.to_le_bytes());
+                put_str(&mut p, init);
+                put_str(&mut p, source);
+                (TAG_OPTIMIZE, p)
+            }
+            Request::Quote { probe_n, source } => {
+                let mut p = Vec::new();
+                p.extend_from_slice(&probe_n.to_le_bytes());
+                put_str(&mut p, source);
+                (TAG_QUOTE, p)
+            }
+            Request::Stats => (TAG_STATS, Vec::new()),
+            Request::Shutdown => (TAG_SHUTDOWN, Vec::new()),
+        }
+    }
+
+    /// Decode a request frame; `Err` values become
+    /// [`ErrorClass::Protocol`] error frames at the server.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let req = match tag {
+            TAG_OPTIMIZE => Request::Optimize {
+                probe_n: c.i64()?,
+                width: c.i64()?,
+                init: c.str()?,
+                source: c.str()?,
+            },
+            TAG_QUOTE => Request::Quote {
+                probe_n: c.i64()?,
+                source: c.str()?,
+            },
+            TAG_STATS => Request::Stats,
+            TAG_SHUTDOWN => Request::Shutdown,
+            t => return Err(bad(format!("unknown request tag {t}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize to `(tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Response::Optimized {
+                winner_cycles,
+                report,
+            } => {
+                let mut p = Vec::new();
+                p.extend_from_slice(&winner_cycles.to_le_bytes());
+                put_str(&mut p, report);
+                (TAG_OPTIMIZED, p)
+            }
+            Response::Quoted { predicted_cycles } => {
+                (TAG_QUOTED, predicted_cycles.to_le_bytes().to_vec())
+            }
+            Response::Stats { json } => {
+                let mut p = Vec::new();
+                put_str(&mut p, json);
+                (TAG_STATS_RESP, p)
+            }
+            Response::ShuttingDown => (TAG_SHUTTING_DOWN, Vec::new()),
+            Response::Error { class, message } => {
+                let mut p = vec![*class as u8];
+                put_str(&mut p, message);
+                (TAG_ERROR, p)
+            }
+        }
+    }
+
+    /// Decode a response frame (the client side of [`Request::decode`]).
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let resp = match tag {
+            TAG_OPTIMIZED => Response::Optimized {
+                winner_cycles: c.u64()?,
+                report: c.str()?,
+            },
+            TAG_QUOTED => Response::Quoted {
+                predicted_cycles: c.u64()?,
+            },
+            TAG_STATS_RESP => Response::Stats { json: c.str()? },
+            TAG_SHUTTING_DOWN => Response::ShuttingDown,
+            TAG_ERROR => {
+                let b = c.u8()?;
+                Response::Error {
+                    class: ErrorClass::from_byte(b)
+                        .ok_or_else(|| bad(format!("unknown error class {b}")))?,
+                    message: c.str()?,
+                }
+            }
+            t => return Err(bad(format!("unknown response tag {t}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// --- stream framing ---
+
+/// Write one frame: tag, length, payload, flush. The frame is
+/// assembled into one buffer and written with a single `write_all` —
+/// three small writes on a TCP stream interact with Nagle's algorithm
+/// and delayed ACKs to stall every request by ~40 ms.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(9 + payload.len());
+    frame.push(tag);
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` on clean EOF before the tag byte — the
+/// peer closed between requests, which is the normal end of a
+/// connection. A length prefix beyond [`MAX_FRAME`] or EOF mid-frame is
+/// `InvalidData` / `UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut tag = [0u8; 1];
+    if r.read(&mut tag)? == 0 {
+        return Ok(None);
+    }
+    let mut len = [0u8; 8];
+    r.read_exact(&mut len)?;
+    let len = u64::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((tag[0], payload)))
+}
+
+/// Send a request frame.
+pub fn send_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let (tag, payload) = req.encode();
+    write_frame(w, tag, &payload)
+}
+
+/// Send a response frame.
+pub fn send_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let (tag, payload) = resp.encode();
+    write_frame(w, tag, &payload)
+}
+
+/// Read and decode one response (client side). Clean EOF is an error
+/// here: the client was waiting for an answer.
+pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
+    let (tag, payload) = read_frame(r)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-request",
+        )
+    })?;
+    Response::decode(tag, &payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        let mut buf = Vec::new();
+        send_request(&mut buf, &req).unwrap();
+        let (tag, payload) = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(Request::decode(tag, &payload), Ok(req));
+    }
+
+    fn round_trip_resp(resp: Response) {
+        let mut buf = Vec::new();
+        send_response(&mut buf, &resp).unwrap();
+        let got = read_response(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(Request::Optimize {
+            probe_n: 48,
+            width: 16,
+            init: "spd:A:3".into(),
+            source: "program p\n".into(),
+        });
+        round_trip_req(Request::Quote {
+            probe_n: -1,
+            source: String::new(),
+        });
+        round_trip_req(Request::Stats);
+        round_trip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_resp(Response::Optimized {
+            winner_cycles: u64::MAX,
+            report: "winner 0\ncode".into(),
+        });
+        round_trip_resp(Response::Quoted {
+            predicted_cycles: 0,
+        });
+        round_trip_resp(Response::Stats {
+            json: "{\"requests\": 1}".into(),
+        });
+        round_trip_resp(Response::ShuttingDown);
+        round_trip_resp(Response::Error {
+            class: ErrorClass::Parse,
+            message: "line 3: expected `do`".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        let mut buf = Vec::new();
+        send_request(
+            &mut buf,
+            &Request::Quote {
+                probe_n: 8,
+                source: "program p\n".into(),
+            },
+        )
+        .unwrap();
+        // Cut the stream at every prefix length: tag-only, mid-length,
+        // mid-payload. None may panic; all must error or EOF cleanly.
+        for cut in 0..buf.len() {
+            let mut r = &buf[..cut];
+            match read_frame(&mut r) {
+                Ok(None) => assert_eq!(cut, 0, "only an empty stream is clean EOF"),
+                Ok(Some(_)) => panic!("truncated frame at {cut} bytes parsed"),
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        // Unknown tag.
+        assert!(Request::decode(99, &[]).is_err());
+        assert!(Response::decode(99, &[]).is_err());
+        // Truncated string length.
+        assert!(Request::decode(TAG_QUOTE, &[0; 9]).is_err());
+        // String length pointing past the payload.
+        let mut p = 8i64.to_le_bytes().to_vec();
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(TAG_QUOTE, &p).is_err());
+        // Trailing garbage.
+        let (tag, mut ok) = Request::Stats.encode();
+        ok.push(0);
+        assert!(Request::decode(tag, &ok).is_err());
+        // Bad error class byte.
+        let mut e = vec![200u8];
+        e.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Response::decode(TAG_ERROR, &e).is_err());
+        // Oversized length prefix refused before allocation.
+        let mut stream = vec![TAG_QUOTE];
+        stream.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut stream.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,391 @@
+//! End-to-end daemon tests: byte-identity with the batch search path
+//! under concurrency, one test per structured error class, request
+//! coalescing, store persistence across a restart, and the `--stdio`
+//! binary smoke.
+//!
+//! The polyhedral memo cache and the probe counters are process-global,
+//! so every test here serializes behind [`LOCK`]; other test binaries
+//! run in separate processes and cannot interfere.
+
+use shackle_core::par;
+use shackle_core::search::SearchConfig;
+use shackle_ir::kernels;
+use shackle_ir::parse::to_source;
+use shackle_polyhedra::{cache, Budget};
+use shackle_serve::pipeline::{auto_search, Mode};
+use shackle_serve::proto::{read_response, send_request};
+use shackle_serve::{Client, ErrorClass, Request, Response, Server, ServiceConfig};
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::{Arc, Barrier, Mutex};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The kernel mix the stress test serves: (request, batch expectation
+/// inputs). Small probe sizes keep the full search in tens of
+/// milliseconds.
+fn mix() -> Vec<(Request, u64, String)> {
+    let specs: [(shackle_ir::Program, i64, i64); 2] =
+        [(kernels::matmul_ijk(), 24, 8), (kernels::gauss(), 16, 8)];
+    specs
+        .into_iter()
+        .map(|(p, probe_n, width)| {
+            let cfg = SearchConfig {
+                width,
+                ..Default::default()
+            };
+            let ones = |_: &str, _: &[usize]| 1.0;
+            let batch = auto_search(&p, &cfg, probe_n, ones, Mode::Memoized);
+            (
+                Request::Optimize {
+                    probe_n,
+                    width,
+                    init: "ones".to_string(),
+                    source: to_source(&p),
+                },
+                batch.winner_cycles,
+                batch.report,
+            )
+        })
+        .collect()
+}
+
+/// Satellite 3's stress test: concurrent TCP clients receive responses
+/// byte-identical to the batch `searchperf::auto_search` path, at
+/// `SHACKLE_THREADS` ∈ {1, 8}.
+#[test]
+fn concurrent_clients_match_batch_path_at_1_and_8_threads() {
+    let _g = lock();
+    for threads in [1usize, 8] {
+        let _t = par::with_threads(threads);
+        cache::clear_cache();
+        let expected = mix();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::new(Server::new().with_store(None));
+        let srv = Arc::clone(&server);
+        let accept = std::thread::spawn(move || srv.serve_tcp(listener).unwrap());
+
+        let clients: Vec<_> = (0..6)
+            .map(|i| {
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for round in 0..2 {
+                        let (req, cycles, report) = &expected[(i + round) % expected.len()];
+                        match c.request(req).unwrap() {
+                            Response::Optimized {
+                                winner_cycles,
+                                report: served,
+                            } => {
+                                assert_eq!(winner_cycles, *cycles, "threads={threads}");
+                                assert_eq!(&served, report, "threads={threads}");
+                            }
+                            r => panic!("unexpected response {r:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+
+        let mut c = Client::connect(addr).unwrap();
+        assert!(matches!(
+            c.request(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        ));
+        drop(c);
+        accept.join().unwrap();
+    }
+}
+
+#[test]
+fn parse_errors_are_structured_frames() {
+    let _g = lock();
+    let server = Server::new().with_store(None);
+    match server.handle(Request::Optimize {
+        probe_n: 24,
+        width: 8,
+        init: "ones".into(),
+        source: "this is not a kernel".into(),
+    }) {
+        Response::Error { class, message } => {
+            assert_eq!(class, ErrorClass::Parse);
+            assert!(!message.is_empty());
+        }
+        r => panic!("unexpected response {r:?}"),
+    }
+}
+
+#[test]
+fn undecidable_legality_refuses_with_unknown() {
+    let _g = lock();
+    cache::clear_cache();
+    let server = Server::with_config(ServiceConfig {
+        budget: Budget::strict(),
+    })
+    .with_store(None);
+    match server.handle(Request::Optimize {
+        probe_n: 12,
+        width: 4,
+        init: "spd:A:3".into(),
+        source: to_source(&kernels::cholesky_right()),
+    }) {
+        Response::Error { class, message } => {
+            assert_eq!(class, ErrorClass::Unknown);
+            assert!(message.contains("undecided"), "message: {message}");
+        }
+        r => panic!("unexpected response {r:?}"),
+    }
+    // The same request under the default budget succeeds: the refusal
+    // is about the budget, not the kernel.
+    cache::clear_cache();
+    let server = Server::new().with_store(None);
+    match server.handle(Request::Optimize {
+        probe_n: 12,
+        width: 4,
+        init: "spd:A:3".into(),
+        source: to_source(&kernels::cholesky_right()),
+    }) {
+        Response::Optimized { winner_cycles, .. } => assert!(winner_cycles > 0),
+        r => panic!("unexpected response {r:?}"),
+    }
+}
+
+#[test]
+fn invalid_parameters_are_internal_errors() {
+    let _g = lock();
+    let server = Server::new().with_store(None);
+    match server.handle(Request::Optimize {
+        probe_n: 0,
+        width: 8,
+        init: "ones".into(),
+        source: to_source(&kernels::matmul_ijk()),
+    }) {
+        Response::Error { class, .. } => assert_eq!(class, ErrorClass::Internal),
+        r => panic!("unexpected response {r:?}"),
+    }
+}
+
+/// A payload the decoder rejects answers a `Protocol` error frame and
+/// the connection keeps working.
+#[test]
+fn protocol_errors_keep_the_connection_alive() {
+    let _g = lock();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::new(Server::new().with_store(None));
+    let srv = Arc::clone(&server);
+    let accept = std::thread::spawn(move || srv.serve_tcp(listener).unwrap());
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    // Unknown request tag 0x63 with an empty payload: valid framing,
+    // invalid request.
+    stream.write_all(&[0x63]).unwrap();
+    stream.write_all(&0u64.to_le_bytes()).unwrap();
+    stream.flush().unwrap();
+    match read_response(&mut stream).unwrap() {
+        Response::Error { class, .. } => assert_eq!(class, ErrorClass::Protocol),
+        r => panic!("unexpected response {r:?}"),
+    }
+    // Same connection, now a well-formed quote: still served.
+    let quote = Request::Quote {
+        probe_n: 24,
+        source: to_source(&kernels::matmul_ijk()),
+    };
+    send_request(&mut stream, &quote).unwrap();
+    match read_response(&mut stream).unwrap() {
+        Response::Quoted { predicted_cycles } => assert!(predicted_cycles > 0),
+        r => panic!("unexpected response {r:?}"),
+    }
+    send_request(&mut stream, &Request::Shutdown).unwrap();
+    assert!(matches!(
+        read_response(&mut stream).unwrap(),
+        Response::ShuttingDown
+    ));
+    drop(stream);
+    accept.join().unwrap();
+}
+
+/// Concurrent identical requests coalesce onto one search: all callers
+/// get equal responses and `serve.coalesced` counts the followers.
+#[test]
+fn identical_concurrent_requests_coalesce() {
+    let _g = lock();
+    cache::clear_cache();
+    let server = Arc::new(Server::new().with_store(None));
+    let before = shackle_probe::counter("serve.coalesced").get();
+    let n = 4;
+    let barrier = Arc::new(Barrier::new(n));
+    let req = Request::Optimize {
+        probe_n: 24,
+        width: 8,
+        init: "ones".into(),
+        // A renamed kernel must coalesce with the original: the flight
+        // key uses the canonical name-free hash.
+        source: to_source(&kernels::matmul_ijk().with_name("renamed_copy")),
+    };
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let mut req = req.clone();
+            if i == 0 {
+                if let Request::Optimize { source, .. } = &mut req {
+                    *source = to_source(&kernels::matmul_ijk());
+                }
+            }
+            std::thread::spawn(move || {
+                barrier.wait();
+                server.handle(req)
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &responses {
+        assert!(matches!(r, Response::Optimized { .. }), "got {r:?}");
+        match (r, &responses[0]) {
+            (
+                Response::Optimized {
+                    winner_cycles: a,
+                    report: ra,
+                },
+                Response::Optimized {
+                    winner_cycles: b,
+                    report: rb,
+                },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(ra, rb);
+            }
+            _ => unreachable!(),
+        }
+    }
+    let coalesced = shackle_probe::counter("serve.coalesced").get() - before;
+    assert!(
+        coalesced >= 1,
+        "expected at least one coalesced follower, got {coalesced}"
+    );
+}
+
+/// The cross-request store: entries survive a simulated daemon restart
+/// and replay as cache hits for the next process.
+#[test]
+fn store_persists_across_restart() {
+    let _g = lock();
+    let path = std::env::temp_dir().join(format!(
+        "shackle-serve-restart-{}.store",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    cache::clear_cache();
+    cache::reset_stats();
+
+    let req = Request::Optimize {
+        probe_n: 24,
+        width: 8,
+        init: "ones".into(),
+        source: to_source(&kernels::matmul_ijk()),
+    };
+    let first = {
+        let server = Server::new().with_store(Some(path.clone()));
+        let resp = server.handle(req.clone());
+        let bytes = server.save_store().unwrap();
+        assert!(bytes > 0, "save wrote nothing");
+        resp
+    };
+    let entries_before = cache::entry_count();
+    assert!(entries_before > 0);
+
+    // "Restart": wipe the in-memory cache, reload from disk.
+    cache::clear_cache();
+    assert_eq!(cache::entry_count(), 0);
+    let server = Server::new().with_store(Some(path.clone()));
+    let loaded = server.load_store().unwrap();
+    assert_eq!(loaded, entries_before);
+
+    cache::reset_stats();
+    let second = server.handle(req);
+    match (&first, &second) {
+        (
+            Response::Optimized {
+                winner_cycles: a,
+                report: ra,
+            },
+            Response::Optimized {
+                winner_cycles: b,
+                report: rb,
+            },
+        ) => {
+            assert_eq!(a, b);
+            assert_eq!(ra, rb, "restarted daemon must answer byte-identically");
+        }
+        (a, b) => panic!("unexpected responses {a:?} / {b:?}"),
+    }
+    let stats = cache::stats();
+    let hits = stats.feasibility_hits + stats.projection_hits + stats.gist_hits;
+    assert!(hits > 0, "reloaded store produced no hits: {stats:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The `--stdio` mode the CI smoke drives: one quote, one optimize, one
+/// stats over a pipe, well-formed responses for each.
+#[test]
+fn stdio_binary_answers_quote_optimize_stats() {
+    let _g = lock();
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_shackle_serve"))
+        .arg("--stdio")
+        .env_remove("SHACKLE_POLY_CACHE")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    let src = to_source(&kernels::matmul_ijk());
+    send_request(
+        &mut stdin,
+        &Request::Quote {
+            probe_n: 24,
+            source: src.clone(),
+        },
+    )
+    .unwrap();
+    send_request(
+        &mut stdin,
+        &Request::Optimize {
+            probe_n: 16,
+            width: 8,
+            init: "ones".into(),
+            source: src,
+        },
+    )
+    .unwrap();
+    send_request(&mut stdin, &Request::Stats).unwrap();
+    drop(stdin); // EOF ends the stdio serve loop
+
+    let mut stdout = child.stdout.take().unwrap();
+    assert!(matches!(
+        read_response(&mut stdout).unwrap(),
+        Response::Quoted { predicted_cycles } if predicted_cycles > 0
+    ));
+    assert!(matches!(
+        read_response(&mut stdout).unwrap(),
+        Response::Optimized { winner_cycles, .. } if winner_cycles > 0
+    ));
+    match read_response(&mut stdout).unwrap() {
+        Response::Stats { json } => {
+            assert!(json.contains("\"requests\": 3"), "stats: {json}");
+            assert!(json.contains("\"quote_requests\": 1"), "stats: {json}");
+        }
+        r => panic!("unexpected response {r:?}"),
+    }
+    assert!(child.wait().unwrap().success());
+}
