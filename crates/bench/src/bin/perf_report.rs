@@ -165,6 +165,7 @@ fn exec_kernels(
     let params_n = |n: i64| BTreeMap::from([("N".to_string(), n)]);
     let sz = |full: i64, small: i64| if quick { small } else { full };
     let (mm, ch, qr, ga, ad) = (sz(64, 32), sz(64, 32), sz(48, 24), sz(64, 32), sz(96, 48));
+    let (bs, sy, jc, tc) = (sz(64, 32), sz(64, 32), sz(96, 48), sz(24, 12));
     vec![
         (
             "matmul_ijk",
@@ -206,6 +207,34 @@ fn exec_kernels(
                     (idx[0] % 5) as f64
                 }
             }),
+        ),
+        (
+            "backsolve",
+            kernels::backsolve(),
+            params_n(bs),
+            bs,
+            Box::new(shackle_exec::verify::hash_init(3)),
+        ),
+        (
+            "syrk",
+            kernels::syrk(),
+            params_n(sy),
+            sy,
+            Box::new(shackle_exec::verify::hash_init(3)),
+        ),
+        (
+            "jacobi2d",
+            kernels::jacobi2d(),
+            params_n(jc),
+            jc,
+            Box::new(shackle_exec::verify::hash_init(3)),
+        ),
+        (
+            "tensor_contract",
+            kernels::tensor_contract(),
+            params_n(tc),
+            tc,
+            Box::new(shackle_exec::verify::hash_init(3)),
         ),
     ]
 }
@@ -641,6 +670,50 @@ fn search_report() -> String {
             },
             24,
             |_: &str, _: &[usize]| 1.0,
+        ),
+        // Wave-1 kernels. backsolve exercises the §8 reversed-cut-set
+        // fallback; tensor_contract exercises the partially-blocking
+        // fallback (its rank-2 reduction chain forbids operand
+        // blockings); gauss_seidel_1d is the negative row — zero legal
+        // candidates, so the search reports products=0 without ever
+        // executing a trace.
+        search_one(
+            "backsolve",
+            &kernels::backsolve(),
+            &w16,
+            48,
+            shackle_exec::verify::hash_init(3),
+        ),
+        search_one(
+            "syrk",
+            &kernels::syrk(),
+            &w16,
+            32,
+            shackle_exec::verify::hash_init(3),
+        ),
+        search_one(
+            "jacobi2d",
+            &kernels::jacobi2d(),
+            &w16,
+            48,
+            shackle_exec::verify::hash_init(3),
+        ),
+        search_one(
+            "tensor_contract",
+            &kernels::tensor_contract(),
+            &SearchConfig {
+                width: 8,
+                ..Default::default()
+            },
+            16,
+            shackle_exec::verify::hash_init(3),
+        ),
+        search_one(
+            "gauss_seidel_1d",
+            &kernels::gauss_seidel_1d(),
+            &w16,
+            32,
+            shackle_exec::verify::hash_init(3),
         ),
     ];
 

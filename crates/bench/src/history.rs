@@ -190,6 +190,49 @@ pub fn extract_string(json: &str, path: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_string())
 }
 
+/// Whether a history line is a single, complete JSON object: starts
+/// with `{`, brace-balanced outside string literals, and closes exactly
+/// at the end of the line. Purely lexical like the rest of this module,
+/// but enough to reject the two real corruption modes of an append-only
+/// log — a torn (truncated) final line and interleaved garbage — before
+/// their half-parsed numbers pollute the trajectory median (a line cut
+/// mid-value, e.g. `"bytecode_speedup": 6.`, would otherwise still
+/// extract `6.0` and silently skew the comparison).
+pub fn line_is_wellformed(line: &str) -> bool {
+    let line = line.trim();
+    if !line.starts_with('{') {
+        return false;
+    }
+    let (mut depth, mut in_str, mut escape) = (0i64, false, false);
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i == line.len() - 1;
+                }
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
 fn median(values: &mut [f64]) -> f64 {
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
     let n = values.len();
@@ -221,6 +264,14 @@ pub fn check_trajectory(
     let comparable: Vec<&str> = history_text
         .lines()
         .filter(|l| !l.trim().is_empty())
+        .filter(|l| {
+            if line_is_wellformed(l) {
+                return true;
+            }
+            let shown: String = l.chars().take(80).collect();
+            eprintln!("warning: skipping malformed history line: {shown}");
+            false
+        })
         .filter(|l| extract_string(l, "env.profile").as_deref() == Some(env.profile))
         .collect();
     TRAJECTORY_METRICS
@@ -233,6 +284,7 @@ pub fn check_trajectory(
                     let aggregates = seek(l, "aggregates")?;
                     extract_number(aggregates, metric)
                 })
+                .filter(|v| v.is_finite())
                 .collect();
             let samples = values.len();
             let med = median(&mut values);
@@ -416,6 +468,47 @@ mod tests {
         // entirely rather than comparing null to numbers.
         let no_native = check_trajectory(&hist, &fp(), &agg(7.0, "null"), 0.4, 3);
         assert!(no_native.iter().all(|c| c.metric != "exec.native_speedup"));
+    }
+
+    #[test]
+    fn wellformed_accepts_real_lines_and_rejects_corruption() {
+        let line = render_line(1, &fp(), &agg(7.0, "72.0"));
+        assert!(line_is_wellformed(&line));
+        // Truncated mid-number: would lexically extract 6.0 and pollute
+        // the median if admitted.
+        let cut = &line[..line.find("bytecode_speedup").unwrap() + 21];
+        assert!(cut.ends_with("6."), "{cut}");
+        assert!(!line_is_wellformed(cut));
+        assert!(!line_is_wellformed("total garbage, not json"));
+        assert!(!line_is_wellformed("{\"a\": 1}}"));
+        assert!(!line_is_wellformed("{\"a\": 1} trailing"));
+        assert!(!line_is_wellformed(""));
+        // Braces inside strings don't confuse the balance check.
+        assert!(line_is_wellformed("{\"a\": \"{\\\"}\"}"));
+    }
+
+    #[test]
+    fn trajectory_skips_truncated_and_garbage_lines() {
+        let clean = history_of(&[(7.0, "release"), (7.2, "release"), (6.8, "release")]);
+        // A torn final append (cut mid-number so the lexical extractor
+        // would read a low value) plus interleaved garbage.
+        let torn = render_line(2, &fp(), &agg(0.1, "1.0"));
+        let torn = &torn[..torn.len() - 25];
+        let dirty = format!("{clean}{torn}\nnot json at all\n{{\"epoch_secs\": 3\n");
+        let from_clean = check_trajectory(&clean, &fp(), &agg(6.9, "70.0"), 0.4, 3);
+        let from_dirty = check_trajectory(&dirty, &fp(), &agg(6.9, "70.0"), 0.4, 3);
+        assert_eq!(from_clean.len(), from_dirty.len());
+        for (a, b) in from_clean.iter().zip(&from_dirty) {
+            assert_eq!(a.metric, b.metric);
+            assert_eq!(a.median, b.median, "{}", a.metric);
+            assert_eq!(a.samples, b.samples, "{}", a.metric);
+            assert!(b.ok, "{}", b.metric);
+        }
+        // All-corrupt history degrades to an unenforced (empty) trajectory.
+        let all_bad = check_trajectory("garbage\n{\"x\": 1\n", &fp(), &agg(6.9, "70.0"), 0.4, 3);
+        assert!(all_bad
+            .iter()
+            .all(|c| c.samples == 0 && !c.enforced && c.ok));
     }
 
     #[test]

@@ -12,9 +12,24 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, MutexGuard};
 
-/// Worker threads to use: `SHACKLE_THREADS` if set to a positive
-/// integer, otherwise the available parallelism (1 if unknown).
+/// The in-process thread-count override installed by [`with_threads`]
+/// (0 = no override). A process-local atomic rather than the env var:
+/// `set_var`/`remove_var` are unsound when any other thread may be
+/// reading the environment concurrently (as a sweep already fanned out
+/// on worker threads does through [`thread_count`]), so overrides never
+/// touch the environment at all.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker threads to use: the [`with_threads`] override if one is
+/// active, else `SHACKLE_THREADS` if set to a positive integer,
+/// otherwise the available parallelism (1 if unknown). The env var is
+/// only ever *read* here — it is consulted as the external default and
+/// never mutated by this module.
 pub fn thread_count() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Acquire);
+    if o > 0 {
+        return o;
+    }
     std::env::var("SHACKLE_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
@@ -26,39 +41,56 @@ pub fn thread_count() -> usize {
         })
 }
 
-/// Serializes every `SHACKLE_THREADS` override in the process: the env
-/// var is global, so two tests (or harness passes) mutating it
-/// concurrently would race each other's reads in [`thread_count`].
+/// Serializes every [`with_threads`] override in the process: the
+/// override is global, so two tests (or harness passes) installing it
+/// concurrently would observe each other's values mid-run.
 static THREADS_ENV_LOCK: Mutex<()> = Mutex::new(());
 
-/// Exclusive hold on the process-wide `SHACKLE_THREADS` override; the
-/// previous value is restored (and the lock released) on drop.
+thread_local! {
+    /// Whether *this* thread currently holds [`THREADS_ENV_LOCK`]
+    /// through a live [`ThreadsGuard`]. A nested [`with_threads`] on
+    /// the same thread (a serial-pinned pipeline invoked under an
+    /// outer override) must not re-lock the non-reentrant mutex — the
+    /// outer guard already serializes it against other threads.
+    static HOLDS_THREADS_LOCK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Exclusive hold on the process-wide thread-count override; the
+/// previous override is restored (and the lock released) on drop.
 pub struct ThreadsGuard {
-    prev: Option<String>,
-    _lock: MutexGuard<'static, ()>,
+    prev: usize,
+    /// `None` for a nested guard riding on an outer guard's lock.
+    lock: Option<MutexGuard<'static, ()>>,
 }
 
 impl Drop for ThreadsGuard {
     fn drop(&mut self) {
-        match self.prev.take() {
-            Some(v) => std::env::set_var("SHACKLE_THREADS", v),
-            None => std::env::remove_var("SHACKLE_THREADS"),
+        THREAD_OVERRIDE.store(self.prev, Ordering::Release);
+        if self.lock.is_some() {
+            HOLDS_THREADS_LOCK.with(|h| h.set(false));
         }
     }
 }
 
-/// Set `SHACKLE_THREADS` to `threads` for the lifetime of the returned
-/// guard, restoring the prior value afterwards. All users of this
-/// helper are mutually serialized behind one process-wide mutex, so
-/// determinism tests that compare serial vs. parallel sweeps cannot
-/// race each other's overrides. Every test or harness that needs a
-/// specific thread count must go through here rather than touching the
-/// env var directly.
+/// Override [`thread_count`] to `threads` for the lifetime of the
+/// returned guard, restoring the prior override afterwards. All users
+/// of this helper are mutually serialized behind one process-wide
+/// mutex (re-entrant on the same thread, so an override can nest
+/// inside another), so determinism tests that compare serial vs.
+/// parallel sweeps cannot race each other's overrides. The override
+/// lives in a process-local atomic — the `SHACKLE_THREADS` environment
+/// variable is never written, so concurrent readers of the environment
+/// are safe.
 pub fn with_threads(threads: usize) -> ThreadsGuard {
-    let lock = THREADS_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let prev = std::env::var("SHACKLE_THREADS").ok();
-    std::env::set_var("SHACKLE_THREADS", threads.to_string());
-    ThreadsGuard { prev, _lock: lock }
+    let lock = if HOLDS_THREADS_LOCK.with(|h| h.get()) {
+        None
+    } else {
+        let g = THREADS_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        HOLDS_THREADS_LOCK.with(|h| h.set(true));
+        Some(g)
+    };
+    let prev = THREAD_OVERRIDE.swap(threads, Ordering::AcqRel);
+    ThreadsGuard { prev, lock }
 }
 
 /// Apply `f` to every item on [`thread_count`] scoped threads,
@@ -132,5 +164,54 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(map_with(4, &empty, |x| *x).is_empty());
         assert_eq!(map_with(4, &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let before = thread_count();
+        {
+            let _g = with_threads(3);
+            assert_eq!(thread_count(), 3);
+            {
+                let _h = with_threads(1);
+                assert_eq!(thread_count(), 1);
+            }
+            assert_eq!(thread_count(), 3);
+        }
+        assert_eq!(thread_count(), before);
+    }
+
+    /// Regression for the `SHACKLE_THREADS` override race: worker
+    /// threads hammer [`thread_count`] (an environment *read*) while
+    /// the main thread repeatedly installs and drops overrides. With
+    /// the old `set_var`/`remove_var` implementation this was unsound
+    /// concurrent env mutation on Unix; the override now lives in a
+    /// process-local atomic and the environment is never written.
+    #[test]
+    fn concurrent_thread_count_reads_race_with_threads_safely() {
+        let env_before = std::env::var("SHACKLE_THREADS").ok();
+        let stop = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stop = &stop;
+                s.spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        // Any value is fine; the point is that a read
+                        // concurrent with an override toggle is safe.
+                        assert!(thread_count() >= 1);
+                    }
+                });
+            }
+            for round in 0..200 {
+                let t = 1 + round % 7;
+                let _g = with_threads(t);
+                assert_eq!(thread_count(), t);
+                let out = map(&[1u64, 2, 3, 4, 5], |x| x * 2);
+                assert_eq!(out, vec![2, 4, 6, 8, 10]);
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        // No env mutation outside the process-local override path.
+        assert_eq!(std::env::var("SHACKLE_THREADS").ok(), env_before);
     }
 }

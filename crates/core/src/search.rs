@@ -49,6 +49,13 @@ pub struct SearchConfig {
     /// per-statement reference choices can explode; the paper suggests
     /// heuristics to cut the search).
     pub max_candidates_per_array: usize,
+    /// Also enumerate reversed-direction cut sets (§8): each dimension
+    /// order additionally yields a variant whose cuts all traverse
+    /// `Decreasing`, so codes whose data flows from high indices to low
+    /// (triangular back-solve) become reachable. Off by default — the
+    /// forward-only space is the classic one, and harnesses retry with
+    /// this enabled when no forward product fully blocks.
+    pub reversed_directions: bool,
 }
 
 impl Default for SearchConfig {
@@ -57,6 +64,7 @@ impl Default for SearchConfig {
             width: 64,
             arrays: None,
             max_candidates_per_array: 256,
+            reversed_directions: false,
         }
     }
 }
@@ -183,13 +191,29 @@ pub fn candidate_shackles(program: &Program, config: &SearchConfig) -> Vec<Shack
         } else {
             vec![(0..rank).collect(), (0..rank).rev().collect()]
         };
+        // forward-direction cuts always; reversed-direction variants
+        // (all cuts Decreasing) appended per order when configured
+        let directions: &[bool] = if config.reversed_directions {
+            &[false, true]
+        } else {
+            &[false]
+        };
         for order in &orders {
-            for combo in cross_product(&choices) {
-                let cuts: Vec<CutSet> = order
-                    .iter()
-                    .map(|&d| CutSet::axis(d, rank, config.width))
-                    .collect();
-                out.push(Shackle::new(program, Blocking::new(&array, cuts), combo));
+            for &reversed in directions {
+                for combo in cross_product(&choices) {
+                    let cuts: Vec<CutSet> = order
+                        .iter()
+                        .map(|&d| {
+                            let cut = CutSet::axis(d, rank, config.width);
+                            if reversed {
+                                cut.reversed()
+                            } else {
+                                cut
+                            }
+                        })
+                        .collect();
+                    out.push(Shackle::new(program, Blocking::new(&array, cuts), combo));
+                }
             }
         }
     }
@@ -330,6 +354,49 @@ pub fn reblock(program: &Program, product: &[Shackle], widths: &[i64]) -> Vec<Sh
         .collect()
 }
 
+/// Re-widen a product with *independent per-cut widths* (rectangular
+/// blocks): `widths[f][c]` is the width of factor `f`'s cut `c`. Where
+/// [`reblock`] keeps every cut of a factor at one width (square
+/// blocks), this generalization lets a two-dimensional blocking use a
+/// tall-and-narrow or short-and-wide block — with column-major storage
+/// a cache line spans consecutive rows of one column, so the best
+/// block is often not square.
+///
+/// # Panics
+///
+/// Panics unless `widths` pairs one width with every cut of every
+/// factor.
+pub fn reblock_cuts(program: &Program, product: &[Shackle], widths: &[Vec<i64>]) -> Vec<Shackle> {
+    assert_eq!(widths.len(), product.len(), "one width list per factor");
+    product
+        .iter()
+        .zip(widths)
+        .map(|(f, ws)| {
+            assert_eq!(
+                ws.len(),
+                f.blocking().cuts().len(),
+                "one width per cut of the factor"
+            );
+            let cuts: Vec<CutSet> = f
+                .blocking()
+                .cuts()
+                .iter()
+                .zip(ws)
+                .map(|(c, &w)| CutSet {
+                    normal: c.normal.clone(),
+                    width: w,
+                    direction: c.direction,
+                })
+                .collect();
+            Shackle::new(
+                program,
+                Blocking::new(f.blocking().array(), cuts),
+                f.refs().to_vec(),
+            )
+        })
+        .collect()
+}
+
 /// The distinct product *shapes* reachable by the automatic search:
 /// every legal single shackle plus the greedy completion grown from
 /// each one, deduplicated. Shapes carry the pivot width from `config`;
@@ -381,6 +448,62 @@ fn grid_rec(
         combo.push(w);
         grid_rec(program, shape, widths, combo, out);
         combo.pop();
+    }
+}
+
+/// The rectangular candidate grid: every shape crossed with every
+/// *per-cut* width combination (`widths.len()` raised to the total cut
+/// count of the shape — independent widths in every blocked dimension,
+/// where [`width_grid`] keeps each factor square). Deterministic
+/// odometer order with the last cut varying fastest. The square grid
+/// is a subset, so a rectangular sweep can only improve on the square
+/// winner; use it on shapes with few total cuts (the count is
+/// exponential in them).
+pub fn rect_width_grid(
+    program: &Program,
+    shapes: &[Vec<Shackle>],
+    widths: &[i64],
+) -> Vec<Vec<Shackle>> {
+    let mut out = Vec::new();
+    for shape in shapes {
+        let cuts_per_factor: Vec<usize> = shape.iter().map(|f| f.blocking().cuts().len()).collect();
+        let total: usize = cuts_per_factor.iter().sum();
+        let mut flat: Vec<i64> = Vec::with_capacity(total);
+        rect_rec(
+            program,
+            shape,
+            &cuts_per_factor,
+            widths,
+            &mut flat,
+            &mut out,
+        );
+    }
+    out
+}
+
+fn rect_rec(
+    program: &Program,
+    shape: &[Shackle],
+    cuts_per_factor: &[usize],
+    widths: &[i64],
+    flat: &mut Vec<i64>,
+    out: &mut Vec<Vec<Shackle>>,
+) {
+    let total: usize = cuts_per_factor.iter().sum();
+    if flat.len() == total {
+        let mut per_factor: Vec<Vec<i64>> = Vec::with_capacity(cuts_per_factor.len());
+        let mut at = 0;
+        for &k in cuts_per_factor {
+            per_factor.push(flat[at..at + k].to_vec());
+            at += k;
+        }
+        out.push(reblock_cuts(program, shape, &per_factor));
+        return;
+    }
+    for &w in widths {
+        flat.push(w);
+        rect_rec(program, shape, cuts_per_factor, widths, flat, out);
+        flat.pop();
     }
 }
 
@@ -650,6 +773,130 @@ mod tests {
         assert_eq!(out.winner, 0);
         assert!(two_phase::<u64>(&[], 4, |&c| c, |&c| c).is_none());
         assert!(two_phase(&candidates, 0, |&c| c, |&c| c).is_none());
+    }
+
+    #[test]
+    fn reversed_directions_double_the_candidate_space() {
+        let p = kernels::matmul_ijk();
+        let fwd = candidate_shackles(&p, &SearchConfig::default());
+        let both = candidate_shackles(
+            &p,
+            &SearchConfig {
+                reversed_directions: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(both.len(), 2 * fwd.len());
+        // The forward space is a subset, in the same relative order.
+        assert!(fwd.iter().all(|s| both.contains(s)));
+        use shackle_polyhedra::lex::Direction;
+        let reversed = both
+            .iter()
+            .filter(|s| {
+                s.blocking()
+                    .cuts()
+                    .iter()
+                    .all(|c| c.direction == Direction::Decreasing)
+            })
+            .count();
+        assert_eq!(reversed, fwd.len());
+    }
+
+    #[test]
+    fn reversed_directions_make_backsolve_reachable() {
+        // The §8 example: the only legal X blocking traverses
+        // bottom-to-top, invisible to the forward-only space.
+        let p = kernels::backsolve();
+        let fwd = enumerate_legal(
+            &p,
+            &SearchConfig {
+                width: 8,
+                arrays: Some(vec!["X".to_string()]),
+                ..Default::default()
+            },
+        );
+        assert!(fwd.is_empty(), "forward-only X blockings are all illegal");
+        let both = enumerate_legal(
+            &p,
+            &SearchConfig {
+                width: 8,
+                arrays: Some(vec!["X".to_string()]),
+                reversed_directions: true,
+                ..Default::default()
+            },
+        );
+        assert!(!both.is_empty(), "the reversed X blocking is legal");
+        use shackle_polyhedra::lex::Direction;
+        assert!(both
+            .iter()
+            .all(|c| c.shackle.blocking().cuts()[0].direction == Direction::Decreasing));
+    }
+
+    #[test]
+    fn rect_width_grid_covers_independent_per_cut_widths() {
+        let p = kernels::matmul_ijk();
+        let cfg = SearchConfig {
+            width: 8,
+            arrays: Some(vec!["C".to_string()]),
+            ..Default::default()
+        };
+        let legal = enumerate_legal(&p, &cfg);
+        let shapes: Vec<Vec<Shackle>> = legal.iter().map(|c| vec![c.shackle.clone()]).collect();
+        let widths = [4, 8, 16];
+        let rect = rect_width_grid(&p, &shapes, &widths);
+        // one factor with two cuts: widths^2 combos per shape
+        assert_eq!(rect.len(), shapes.len() * widths.len().pow(2));
+        assert_eq!(rect, rect_width_grid(&p, &shapes, &widths));
+        // the square grid is a subset
+        let square = width_grid(&p, &shapes, &widths);
+        for s in &square {
+            assert!(rect.contains(s));
+        }
+        // genuinely rectangular combos appear, and stay legal
+        let deps = shackle_ir::deps::dependences(&p);
+        let rectangular: Vec<&Vec<Shackle>> = rect
+            .iter()
+            .filter(|c| {
+                let cuts = c[0].blocking().cuts();
+                cuts[0].width != cuts[1].width
+            })
+            .collect();
+        assert_eq!(
+            rectangular.len(),
+            shapes.len() * (widths.len().pow(2) - widths.len())
+        );
+        assert!(check_legality_with_deps(&p, rectangular[0], &deps).is_legal());
+        // odometer order: last cut fastest
+        let first: Vec<i64> = rect[0][0]
+            .blocking()
+            .cuts()
+            .iter()
+            .map(|c| c.width)
+            .collect();
+        let second: Vec<i64> = rect[1][0]
+            .blocking()
+            .cuts()
+            .iter()
+            .map(|c| c.width)
+            .collect();
+        assert_eq!(first, vec![4, 4]);
+        assert_eq!(second, vec![4, 8]);
+    }
+
+    #[test]
+    fn reblock_cuts_panics_on_width_count_mismatch() {
+        let p = kernels::matmul_ijk();
+        let legal = enumerate_legal(
+            &p,
+            &SearchConfig {
+                width: 8,
+                arrays: Some(vec!["C".to_string()]),
+                ..Default::default()
+            },
+        );
+        let shape = vec![legal[0].shackle.clone()];
+        let out = std::panic::catch_unwind(|| reblock_cuts(&p, &shape, &[vec![4]]));
+        assert!(out.is_err(), "two cuts need two widths");
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn assert_native_agrees(
 
 type KernelEntry = (&'static str, fn() -> Program);
 
-const KERNELS: [KernelEntry; 9] = [
+const KERNELS: [KernelEntry; 12] = [
     ("matmul_ijk", shackle_ir::kernels::matmul_ijk),
     ("cholesky_right", shackle_ir::kernels::cholesky_right),
     ("cholesky_left", shackle_ir::kernels::cholesky_left),
@@ -105,6 +105,9 @@ const KERNELS: [KernelEntry; 9] = [
     ("banded_cholesky", shackle_ir::kernels::banded_cholesky),
     ("backsolve", shackle_ir::kernels::backsolve),
     ("gauss_seidel_1d", shackle_ir::kernels::gauss_seidel_1d),
+    ("syrk", shackle_ir::kernels::syrk),
+    ("jacobi2d", shackle_ir::kernels::jacobi2d),
+    ("tensor_contract", shackle_ir::kernels::tensor_contract),
 ];
 
 fn kernel_params(name: &str, n: i64, seed: u64) -> BTreeMap<String, i64> {

@@ -465,6 +465,149 @@ pub fn gauss_seidel_1d() -> Program {
     )
 }
 
+/// Symmetric rank-k update (SYRK): `C ← C + A·Aᵀ`, lower triangle only.
+/// The BLAS-3 sibling of matmul with a triangular iteration space — the
+/// same two-dimensional blocking applies, but the footprint of a block
+/// row is asymmetric in `I` and `J`, which is what makes rectangular
+/// blocks interesting here.
+///
+/// ```text
+/// do I = 1..N
+///   do J = 1..I
+///     do K = 1..N
+///       S1: C[I,J] = C[I,J] + A[I,K] * A[J,K]
+/// ```
+pub fn syrk() -> Program {
+    let c = ArrayRef::vars("C", &["I", "J"]);
+    let aik = ArrayRef::vars("A", &["I", "K"]);
+    let ajk = ArrayRef::vars("A", &["J", "K"]);
+    let s = Statement::new("S1", c.clone(), ld(c) + ld(aik) * ld(ajk));
+    Program::new(
+        "syrk",
+        vec!["N".into()],
+        vec![ArrayDecl::square("C", "N"), ArrayDecl::square("A", "N")],
+        vec![s],
+        vec![loop_(
+            "I",
+            one(),
+            n(),
+            vec![loop_(
+                "J",
+                one(),
+                v("I"),
+                vec![loop_("K", one(), n(), vec![stmt(0)])],
+            )],
+        )],
+    )
+}
+
+/// One out-of-place 2-D Jacobi (heat) relaxation sweep — the
+/// relaxation-code family §9 names as a target beyond the
+/// factorizations. A single sweep writes `V` from `U`, so blocking `V`
+/// is legal (unlike the in-place Gauss–Seidel sweep, where every
+/// element eventually affects every other and no single-sweep blocking
+/// exists).
+///
+/// ```text
+/// do I = 2..N-1
+///   do J = 2..N-1
+///     S1: V[I,J] = 0.25 * (U[I-1,J] + U[I+1,J] + U[I,J-1] + U[I,J+1])
+/// ```
+pub fn jacobi2d() -> Program {
+    let u = |r: LinExpr, c: LinExpr| ArrayRef::new("U", vec![r, c]);
+    let vij = ArrayRef::vars("V", &["I", "J"]);
+    let s = Statement::new(
+        "S1",
+        vij,
+        ScalarExpr::Const(0.25)
+            * (ld(u(v("I") - one(), v("J")))
+                + ld(u(v("I") + one(), v("J")))
+                + ld(u(v("I"), v("J") - one()))
+                + ld(u(v("I"), v("J") + one()))),
+    );
+    Program::new(
+        "jacobi2d",
+        vec!["N".into()],
+        vec![ArrayDecl::square("V", "N"), ArrayDecl::square("U", "N")],
+        vec![s],
+        vec![loop_(
+            "I",
+            LinExpr::constant(2),
+            n() - one(),
+            vec![loop_("J", LinExpr::constant(2), n() - one(), vec![stmt(0)])],
+        )],
+    )
+}
+
+/// A rank-4 tensor contraction over two rank-3 operands — the kind of
+/// kernel coupled-cluster codes block: two contracted indices (`K`,
+/// `L`), and the operands transpose them relative to each other.
+///
+/// ```text
+/// do I = 1..N
+///   do J = 1..N
+///     do K = 1..N
+///       do L = 1..N
+///         S1: C[I,J] = C[I,J] + A[I,K,L] * B[L,K,J]
+/// ```
+pub fn tensor_contract() -> Program {
+    let c = ArrayRef::vars("C", &["I", "J"]);
+    let a = ArrayRef::vars("A", &["I", "K", "L"]);
+    let b = ArrayRef::vars("B", &["L", "K", "J"]);
+    let s = Statement::new("S1", c.clone(), ld(c) + ld(a) * ld(b));
+    Program::new(
+        "tensor-contract",
+        vec!["N".into()],
+        vec![
+            ArrayDecl::square("C", "N"),
+            ArrayDecl::new("A", vec![n(), n(), n()]),
+            ArrayDecl::new("B", vec![n(), n(), n()]),
+        ],
+        vec![s],
+        vec![loop_(
+            "I",
+            one(),
+            n(),
+            vec![loop_(
+                "J",
+                one(),
+                n(),
+                vec![loop_(
+                    "K",
+                    one(),
+                    n(),
+                    vec![loop_("L", one(), n(), vec![stmt(0)])],
+                )],
+            )],
+        )],
+    )
+}
+
+/// A kernel builder paired with its registry name, as listed by
+/// [`all`].
+pub type KernelBuilder = (&'static str, fn() -> Program);
+
+/// Every kernel builder in this module, keyed by its builder name —
+/// the single enumeration that harness-coverage tests check against,
+/// so a new kernel cannot silently stay a dead end the way `backsolve`
+/// and `gauss_seidel_1d` once did.
+pub fn all() -> Vec<KernelBuilder> {
+    vec![
+        ("matmul_ijk", matmul_ijk as fn() -> Program),
+        ("cholesky_right", cholesky_right),
+        ("cholesky_left", cholesky_left),
+        ("adi", adi),
+        ("gauss", gauss),
+        ("qr_householder", qr_householder),
+        ("banded_cholesky", banded_cholesky),
+        ("backsolve", backsolve),
+        ("gauss_seidel_1d", gauss_seidel_1d),
+        ("syrk", syrk),
+        ("jacobi2d", jacobi2d),
+        ("tensor_contract", tensor_contract),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,17 +616,8 @@ mod tests {
     fn all_kernels_validate() {
         // Program::new panics on structural errors, so constructing each
         // kernel is itself the test.
-        for p in [
-            matmul_ijk(),
-            cholesky_right(),
-            cholesky_left(),
-            adi(),
-            gauss(),
-            qr_householder(),
-            banded_cholesky(),
-            backsolve(),
-            gauss_seidel_1d(),
-        ] {
+        for (_, mk) in all() {
+            let p = mk();
             assert!(!p.stmts().is_empty());
             // display should not panic and should contain each label
             let text = p.to_string();
@@ -495,6 +629,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn registry_names_match_builders() {
+        let reg = all();
+        assert_eq!(reg.len(), 12);
+        let mut names: Vec<&str> = reg.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate registry names");
+        // Builder keys are the program names with `-` → `_`.
+        for (key, mk) in reg {
+            assert_eq!(key, mk().name().replace('-', "_"));
+        }
+    }
+
+    #[test]
+    fn syrk_is_triangular_and_tensor_is_rank3() {
+        let p = syrk();
+        assert_eq!(p.context(0).iter_vars(), vec!["I", "J", "K"]);
+        // J <= I
+        assert!(!p.context(0).domain().eval(&|v| match v {
+            "N" => 10,
+            "I" => 2,
+            "J" => 5,
+            "K" => 1,
+            _ => 0,
+        }));
+        let t = tensor_contract();
+        assert_eq!(t.arrays()[1].dims().len(), 3);
+        assert_eq!(t.arrays()[2].dims().len(), 3);
+        assert_eq!(t.context(0).iter_vars(), vec!["I", "J", "K", "L"]);
     }
 
     #[test]

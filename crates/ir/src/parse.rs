@@ -606,17 +606,8 @@ mod tests {
 
     #[test]
     fn roundtrip_all_kernels() {
-        for p in [
-            kernels::matmul_ijk(),
-            kernels::cholesky_right(),
-            kernels::cholesky_left(),
-            kernels::adi(),
-            kernels::gauss(),
-            kernels::qr_householder(),
-            kernels::banded_cholesky(),
-            kernels::backsolve(),
-            kernels::gauss_seidel_1d(),
-        ] {
+        for (_, mk) in kernels::all() {
+            let p = mk();
             let text = to_source(&p);
             let q = parse(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", p.name()));
             // Statement ids are assigned in textual order by the

@@ -11,6 +11,10 @@
 //!   native implementations of each benchmark in all the variants the
 //!   figures compare (input code, compiler-shackled code, shackled code
 //!   with DGEMM, LAPACK-style blocked code);
+//! * [`trisolve`], [`syrk`], [`stencil`], [`tensor`] — the scenario
+//!   diversity wave: triangular back-solve (§8 reversed traversal),
+//!   symmetric rank-k update, 2-D Jacobi relaxation and a rank-3
+//!   tensor contraction, each with a rectangular-blocked variant;
 //! * [`trace`] — adapters that replay IR interpreter executions into
 //!   `shackle-memsim` hierarchies (dense and band storage);
 //! * [`compact`] — capture-once/replay-many [`compact::CompactTrace`]
@@ -39,7 +43,11 @@ pub mod matmul;
 pub mod qr;
 pub mod rng;
 pub mod shackles;
+pub mod stencil;
+pub mod syrk;
+pub mod tensor;
 pub mod trace;
 pub mod traced;
+pub mod trisolve;
 
 pub use matrix::{Mat, TracedMat};

@@ -160,6 +160,52 @@ pub fn backsolve_reversed(p: &Program, width: i64) -> Vec<Shackle> {
     )]
 }
 
+/// SYRK's fully-blocking product, the matmul `M_C × M_A` construction
+/// transplanted to the triangular update: `C` shackled through its
+/// write and `A` through the row-panel read `A[I,K]`.
+pub fn syrk_product(p: &Program, width: i64) -> Vec<Shackle> {
+    vec![
+        Shackle::on_writes(p, Blocking::square("C", 2, &[0, 1], width)),
+        Shackle::new(
+            p,
+            Blocking::square("A", 2, &[0, 1], width),
+            vec![ArrayRef::vars("A", &["I", "K"])],
+        ),
+    ]
+}
+
+/// Rectangular `bi × bj` tiles for the 2-D Jacobi sweep: `V` shackled
+/// through its write and `U` through the north-neighbour read, with
+/// *independent* per-dimension widths (ROADMAP's rectangular blocks —
+/// column-major storage favours tall, narrow tiles).
+pub fn jacobi2d_tiles(p: &Program, bi: i64, bj: i64) -> Vec<Shackle> {
+    let rect =
+        |array: &str| Blocking::new(array, vec![CutSet::axis(0, 2, bi), CutSet::axis(1, 2, bj)]);
+    vec![
+        Shackle::on_writes(p, rect("V")),
+        Shackle::new(
+            p,
+            rect("U"),
+            vec![ArrayRef::new(
+                "U",
+                vec![LinExpr::var("I") - LinExpr::constant(1), LinExpr::var("J")],
+            )],
+        ),
+    ]
+}
+
+/// The tensor contraction's output blocking — rectangular `bi × bj`
+/// tiles of `C`. The rank-2 reduction chain (Σ over `K`,`L` into
+/// `C[I,J]`) makes every full-rank blocking of `A` or `B` illegal, so
+/// this *partial* product is the maximal legal shackling; the rank-3
+/// operands stay unconstrained by construction.
+pub fn tensor_c(p: &Program, bi: i64, bj: i64) -> Vec<Shackle> {
+    vec![Shackle::on_writes(
+        p,
+        Blocking::new("C", vec![CutSet::axis(0, 2, bi), CutSet::axis(1, 2, bj)]),
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +233,25 @@ mod tests {
         assert!(check_legality(&ba, &banded_writes(&ba, 8)).is_legal());
         let bs = kernels::backsolve();
         assert!(check_legality(&bs, &backsolve_reversed(&bs, 8)).is_legal());
+        let sy = kernels::syrk();
+        assert!(check_legality(&sy, &syrk_product(&sy, 8)).is_legal());
+        let ja = kernels::jacobi2d();
+        assert!(check_legality(&ja, &jacobi2d_tiles(&ja, 16, 4)).is_legal());
+        let tc = kernels::tensor_contract();
+        assert!(check_legality(&tc, &tensor_c(&tc, 8, 4)).is_legal());
+    }
+
+    #[test]
+    fn wave1_products_constrain_what_they_can() {
+        use shackle_core::span::unconstrained_refs;
+        let sy = kernels::syrk();
+        assert!(unconstrained_refs(&sy, &syrk_product(&sy, 8)).is_empty());
+        let ja = kernels::jacobi2d();
+        assert!(unconstrained_refs(&ja, &jacobi2d_tiles(&ja, 16, 4)).is_empty());
+        // the tensor contraction is only partially blockable: the
+        // rank-3 operand reads must remain unconstrained
+        let tc = kernels::tensor_contract();
+        assert!(!unconstrained_refs(&tc, &tensor_c(&tc, 8, 4)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Native rank-3 tensors and the two-index contraction
+//! `C[i,j] += Σ_{k,l} A[i,k,l]·B[l,k,j]` — the coupled-cluster-style
+//! kernel whose operands transpose the contracted indices relative to
+//! each other.
+
+use crate::Mat;
+
+/// A dense column-major rank-3 `f64` tensor with 0-based indexing
+/// (offset `i + j·n1 + k·n1·n2`, matching the IR world's column-major
+/// array layout).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ten3 {
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    data: Vec<f64>,
+}
+
+impl Ten3 {
+    /// A zero tensor.
+    pub fn zeros(n1: usize, n2: usize, n3: usize) -> Self {
+        Self {
+            n1,
+            n2,
+            n3,
+            data: vec![0.0; n1 * n2 * n3],
+        }
+    }
+
+    /// Build from a function of `(i, j, k)` (0-based).
+    pub fn from_fn(
+        n1: usize,
+        n2: usize,
+        n3: usize,
+        f: impl Fn(usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut t = Self::zeros(n1, n2, n3);
+        for k in 0..n3 {
+            for j in 0..n2 {
+                for i in 0..n1 {
+                    t.data[i + j * n1 + k * n1 * n2] = f(i, j, k);
+                }
+            }
+        }
+        t
+    }
+
+    /// Extents `(n1, n2, n3)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.n1, self.n2, self.n3)
+    }
+
+    /// Element access.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        debug_assert!(i < self.n1 && j < self.n2 && k < self.n3);
+        self.data[i + j * self.n1 + k * self.n1 * self.n2]
+    }
+
+    /// Raw column-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Pointwise contraction `C[i,j] += Σ_{k,l} A[i,k,l]·B[l,k,j]` over
+/// cubic index ranges of `C`'s order.
+///
+/// # Panics
+///
+/// Panics unless `C` is `n×n`, `A` and `B` are `n×n×n`.
+pub fn contract_pointwise(c: &mut Mat, a: &Ten3, b: &Ten3) {
+    let n = c.rows();
+    assert_eq!(c.cols(), n);
+    assert_eq!(a.dims(), (n, n, n));
+    assert_eq!(b.dims(), (n, n, n));
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = c.at(i, j);
+            for k in 0..n {
+                for l in 0..n {
+                    s += a.at(i, k, l) * b.at(l, k, j);
+                }
+            }
+            c.set(i, j, s);
+        }
+    }
+}
+
+/// Blocked contraction: the output dimensions tiled `bi × bj` and the
+/// contracted pair tiled `bk` — the data-centric blocking of `C` with
+/// the contraction loops windowed per block.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a zero block extent.
+pub fn contract_blocked(c: &mut Mat, a: &Ten3, b: &Ten3, bi: usize, bj: usize, bk: usize) {
+    assert!(bi > 0 && bj > 0 && bk > 0);
+    let n = c.rows();
+    assert_eq!(c.cols(), n);
+    assert_eq!(a.dims(), (n, n, n));
+    assert_eq!(b.dims(), (n, n, n));
+    for i0 in (0..n).step_by(bi) {
+        for j0 in (0..n).step_by(bj) {
+            for k0 in (0..n).step_by(bk) {
+                for i in i0..(i0 + bi).min(n) {
+                    for j in j0..(j0 + bj).min(n) {
+                        let mut s = c.at(i, j);
+                        for k in k0..(k0 + bk).min(n) {
+                            for l in 0..n {
+                                s += a.at(i, k, l) * b.at(l, k, j);
+                            }
+                        }
+                        c.set(i, j, s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(n: usize, seed: u64) -> Ten3 {
+        Ten3::from_fn(n, n, n, |i, j, k| {
+            ((i * 31 + j * 17 + k * 7 + seed as usize) % 23) as f64 / 23.0 + 0.1
+        })
+    }
+
+    #[test]
+    fn tiny_contraction_by_hand() {
+        // n = 1: C[0,0] += A[0,0,0]·B[0,0,0].
+        let a = Ten3::from_fn(1, 1, 1, |_, _, _| 3.0);
+        let b = Ten3::from_fn(1, 1, 1, |_, _, _| 5.0);
+        let mut c = Mat::zeros(1, 1);
+        contract_pointwise(&mut c, &a, &b);
+        assert_eq!(c.at(0, 0), 15.0);
+    }
+
+    #[test]
+    fn layout_is_column_major() {
+        let t = Ten3::from_fn(2, 2, 2, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        assert_eq!(t.data()[0], 0.0); // (0,0,0)
+        assert_eq!(t.data()[1], 100.0); // (1,0,0)
+        assert_eq!(t.data()[2], 10.0); // (0,1,0)
+        assert_eq!(t.data()[4], 1.0); // (0,0,1)
+    }
+
+    #[test]
+    fn blocked_agrees_with_pointwise() {
+        for (n, bi, bj, bk, seed) in [(5, 2, 2, 2, 1), (8, 3, 5, 2, 2), (9, 4, 1, 100, 3)] {
+            let a = seeded(n, seed);
+            let b = seeded(n, seed + 5);
+            let mut gold = Mat::from_fn(n, n, |i, j| (i + j) as f64 / 10.0);
+            let mut c = gold.clone();
+            contract_pointwise(&mut gold, &a, &b);
+            contract_blocked(&mut c, &a, &b, bi, bj, bk);
+            assert!(
+                gold.max_rel_diff(&c) < 1e-12,
+                "n={n} bi={bi} bj={bj} bk={bk}"
+            );
+        }
+    }
+}

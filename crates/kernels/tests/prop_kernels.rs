@@ -3,7 +3,9 @@
 //! random shapes, block sizes and inputs.
 
 use proptest::prelude::*;
-use shackle_kernels::banded::{pbtrf_lapack, pbtrf_pointwise, pbtrf_shackled, BandMat};
+use shackle_kernels::banded::{
+    banded_cholesky_dense, pbtrf_lapack, pbtrf_pointwise, pbtrf_shackled, BandMat,
+};
 use shackle_kernels::blas::{dgemm_nn, Block};
 use shackle_kernels::cholesky::{
     cholesky_lapack, cholesky_pointwise, cholesky_shackled, cholesky_shackled_dgemm,
@@ -102,6 +104,62 @@ proptest! {
                 gold.to_dense_lower().max_rel_diff_lower(&c.to_dense_lower()) < 1e-9,
                 "n={n} p={p} nb={nb}"
             );
+        }
+    }
+
+    /// Band storage round-trip: `from_dense` → `to_dense_lower` is the
+    /// identity on the lower band of a symmetric band matrix. `p_sel`
+    /// oversamples the edges so `p = 0` (diagonal only) and `p = n−1`
+    /// (the widest band `from_dense` accepts) are exercised every run.
+    #[test]
+    fn bandmat_roundtrip_is_identity(
+        n in 1usize..26, p_sel in 0usize..10, seed in 0u64..1000,
+    ) {
+        let p = match p_sel {
+            8 => 0,
+            9 => n - 1,
+            s => s.min(n - 1),
+        };
+        let a = random_banded_spd(n, p, seed);
+        let band = BandMat::from_dense(&a, p);
+        prop_assert_eq!(band.n(), n);
+        prop_assert_eq!(band.p(), p);
+        let back = band.to_dense_lower();
+        for j in 0..n {
+            for i in j..n {
+                let expect = if i - j <= p { a.at(i, j) } else { 0.0 };
+                prop_assert!(
+                    back.at(i, j) == expect,
+                    "n={} p={} ({}, {}): {} vs {}", n, p, i, j, back.at(i, j), expect
+                );
+            }
+        }
+    }
+
+    /// Band-storage Cholesky agrees with the dense banded algorithm:
+    /// `pbtrf_pointwise` on `BandMat` vs `banded_cholesky_dense` on the
+    /// full matrix, compared on the band.
+    #[test]
+    fn pbtrf_matches_dense_banded_cholesky(
+        n in 1usize..26, p_sel in 0usize..10, seed in 0u64..1000,
+    ) {
+        let p = match p_sel {
+            8 => 0,
+            9 => n - 1,
+            s => s.min(n - 1),
+        };
+        let a0 = random_banded_spd(n, p, seed);
+        let mut dense = a0.clone();
+        banded_cholesky_dense(&mut dense, p);
+        let mut band = BandMat::from_dense(&a0, p);
+        pbtrf_pointwise(&mut band);
+        let got = band.to_dense_lower();
+        for j in 0..n {
+            for i in j..(j + p + 1).min(n) {
+                let (x, y) = (dense.at(i, j), got.at(i, j));
+                let rel = (x - y).abs() / x.abs().max(y.abs()).max(1.0);
+                prop_assert!(rel < 1e-12, "n={} p={} ({}, {})", n, p, i, j);
+            }
         }
     }
 

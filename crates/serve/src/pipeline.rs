@@ -125,17 +125,55 @@ pub fn auto_search(
     }
 
     // 2. grow each legal seed into a product (Theorem 2), keeping the
-    //    distinct fully-blocking ones
+    //    distinct fully-blocking ones; maximal grown products that
+    //    still leave references unconstrained are held back as the
+    //    last-resort candidate set (step 2c)
     let mut products: Vec<Vec<Shackle>> = Vec::new();
+    let mut partial: Vec<Vec<Shackle>> = Vec::new();
     for c in &legal {
         let seed = vec![c.shackle.clone()];
         let grown = match mode {
             Mode::Memoized => complete_product_with_deps(program, seed, &legal, &deps),
             Mode::Baseline => grow_baseline(program, seed, &legal),
         };
-        if span::unconstrained_refs(program, &grown).is_empty() && !products.contains(&grown) {
-            products.push(grown);
+        if span::unconstrained_refs(program, &grown).is_empty() {
+            if !products.contains(&grown) {
+                products.push(grown);
+            }
+        } else if !partial.contains(&grown) {
+            partial.push(grown);
         }
+    }
+
+    // 2b. codes whose data flows from high indices to low (triangular
+    //     back-solve) have no legal forward traversal: when the forward
+    //     space yields no fully-blocking product, rerun once with §8
+    //     reversed cut sets enabled. The retry is a full re-entry so the
+    //     report stays the single source of truth for both modes.
+    if products.is_empty() && !cfg.reversed_directions {
+        let cfg2 = SearchConfig {
+            reversed_directions: true,
+            ..cfg.clone()
+        };
+        let mut out = auto_search(program, &cfg2, probe_n, init, mode);
+        out.report = format!(
+            "no fully-blocking forward product; retrying with reversed cut sets\n{}",
+            out.report
+        );
+        return out;
+    }
+
+    // 2c. some codes cannot be fully blocked at all — a rank-2
+    //     reduction chain (tensor contraction's Σ over K,L into
+    //     C[I,J]) makes every full-rank operand blocking illegal, so
+    //     only output blockings survive and Theorem 2 growth stalls
+    //     with references unconstrained. Ranking the maximal grown
+    //     products is still the paper's best answer; the report says
+    //     so explicitly.
+    let mut partially_blocking = false;
+    if products.is_empty() && !partial.is_empty() {
+        products = partial;
+        partially_blocking = true;
     }
 
     // 3. two-phase scoring: the analytical model ranks every product,
@@ -168,6 +206,13 @@ pub fn auto_search(
             report,
             "candidate {s}: {}",
             if *ok { "legal" } else { "illegal" }
+        );
+    }
+    if partially_blocking {
+        let _ = writeln!(
+            report,
+            "no fully-blocking product; ranking {} partially-blocking grown products",
+            products.len()
         );
     }
     for (i, p) in products.iter().enumerate() {

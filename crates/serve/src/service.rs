@@ -233,7 +233,7 @@ pub fn optimize(
     if outcome.products == 0 {
         return Err(ServeError::new(
             ErrorClass::Internal,
-            "no fully-blocking legal product exists for this kernel at the requested width",
+            "no legal blocking product exists for this kernel at the requested width",
         ));
     }
     Ok(Response::Optimized {

@@ -29,8 +29,18 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 /// inputs). Small probe sizes keep the full search in tens of
 /// milliseconds.
 fn mix() -> Vec<(Request, u64, String)> {
-    let specs: [(shackle_ir::Program, i64, i64); 2] =
-        [(kernels::matmul_ijk(), 24, 8), (kernels::gauss(), 16, 8)];
+    let specs: [(shackle_ir::Program, i64, i64); 6] = [
+        (kernels::matmul_ijk(), 24, 8),
+        (kernels::gauss(), 16, 8),
+        // the scenario-diversity wave: a reversed-traversal solve, a
+        // triangular update, a stencil, and a contraction only
+        // partially-blockable — each must parse off the wire and answer
+        // byte-identically to the batch pipeline
+        (kernels::backsolve(), 16, 4),
+        (kernels::syrk(), 12, 4),
+        (kernels::jacobi2d(), 16, 4),
+        (kernels::tensor_contract(), 8, 4),
+    ];
     specs
         .into_iter()
         .map(|(p, probe_n, width)| {

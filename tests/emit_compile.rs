@@ -118,17 +118,10 @@ fn main() {{
 #[test]
 fn emitted_c_is_wellformed_for_every_kernel() {
     // No C compiler is assumed; check structural well-formedness of the
-    // C emission for all kernels and their shackled forms.
-    let programs = vec![
-        kernels::matmul_ijk(),
-        kernels::cholesky_right(),
-        kernels::qr_householder(),
-        kernels::adi(),
-        kernels::gauss(),
-        kernels::banded_cholesky(),
-        kernels::backsolve(),
-    ];
-    for p in programs {
+    // C emission for every kernel in the registry (including the rank-3
+    // tensor contraction) and their shackled forms.
+    for (_, mk) in kernels::all() {
+        let p = mk();
         for src in [emit(&p, Dialect::C), emit(&p, Dialect::Rust)] {
             assert_eq!(
                 src.matches('{').count(),

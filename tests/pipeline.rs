@@ -158,6 +158,65 @@ fn banded_cholesky_pipeline() {
 }
 
 #[test]
+fn backsolve_reversed_shackle_pipeline() {
+    // §8: the triangular back-solve's data flows from high indices to
+    // low, so the legal blocking walks X bottom-to-top (reversed cut
+    // set). The scanned code must still be semantically identical.
+    let p = kernels::backsolve();
+    let f = shackles::backsolve_reversed(&p, 4);
+    assert!(check_legality(&p, &f).is_legal());
+    let naive = generate_naive(&p, &f);
+    let scanned = generate_scanned(&p, &f);
+    for n in [1, 3, 4, 9, 14] {
+        let eq = check_equivalence(&p, &naive, &params(n), hash_init(11));
+        assert_eq!(eq.max_rel_diff, 0.0, "naive n={n}");
+        let eq = check_equivalence(&p, &scanned, &params(n), hash_init(11));
+        assert_eq!(eq.max_rel_diff, 0.0, "scanned n={n}");
+    }
+}
+
+#[test]
+fn syrk_product_pipeline() {
+    let p = kernels::syrk();
+    let f = shackles::syrk_product(&p, 5);
+    assert!(check_legality(&p, &f).is_legal());
+    let scanned = generate_scanned(&p, &f);
+    for n in [1, 4, 5, 11, 17] {
+        let eq = check_equivalence(&p, &scanned, &params(n), hash_init(12));
+        assert_eq!(eq.max_rel_diff, 0.0, "n={n}");
+    }
+}
+
+#[test]
+fn jacobi2d_rectangular_tiles_pipeline() {
+    // Rectangular tiles: independent per-dimension widths (tall-narrow
+    // here), the grid extension this wave adds to the search.
+    let p = kernels::jacobi2d();
+    let f = shackles::jacobi2d_tiles(&p, 7, 2);
+    assert!(check_legality(&p, &f).is_legal());
+    let scanned = generate_scanned(&p, &f);
+    for n in [2, 3, 8, 15, 23] {
+        let eq = check_equivalence(&p, &scanned, &params(n), hash_init(13));
+        assert_eq!(eq.max_rel_diff, 0.0, "n={n}");
+    }
+}
+
+#[test]
+fn tensor_contract_partial_blocking_pipeline() {
+    // The tensor contraction's rank-2 reduction chain admits only the
+    // output blocking; the partial product still reorders legally and
+    // executes identically.
+    let p = kernels::tensor_contract();
+    let f = shackles::tensor_c(&p, 3, 5);
+    assert!(check_legality(&p, &f).is_legal());
+    let scanned = generate_scanned(&p, &f);
+    for n in [1, 4, 7, 10] {
+        let eq = check_equivalence(&p, &scanned, &params(n), hash_init(14));
+        assert_eq!(eq.max_rel_diff, 0.0, "n={n}");
+    }
+}
+
+#[test]
 fn naive_and_scanned_forms_agree_with_each_other() {
     // Transitivity check made explicit: the two generated forms agree
     // directly (not only each against the source).
